@@ -1,0 +1,29 @@
+"""Benchmark harness: one target per paper table/figure.
+
+Run with ``pytest benchmarks/ --benchmark-only``. Each benchmark
+regenerates one figure/table via its experiment driver, prints the
+regenerated rows/series (visible with ``-s``), and asserts the paper's
+qualitative shape.
+"""
+
+import pytest
+
+
+def regenerate(benchmark, experiment_name, **kwargs):
+    """Run one experiment driver under the benchmark timer."""
+    from repro.harness.experiments import get_experiment
+
+    driver = get_experiment(experiment_name)
+    report = benchmark.pedantic(
+        lambda: driver(**kwargs), iterations=1, rounds=1
+    )
+    print()
+    print(report)
+    return report
+
+
+@pytest.fixture
+def regen(benchmark):
+    def _regen(name, **kwargs):
+        return regenerate(benchmark, name, **kwargs)
+    return _regen

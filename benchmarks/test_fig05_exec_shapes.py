@@ -1,0 +1,14 @@
+"""Bench: regenerate paper Figs. 1/5 (execution shapes on dmv)."""
+
+
+def test_fig05_exec_shapes(regen):
+    report = regen("fig05", scale="small")
+    width = report.data["width"]
+    height = report.data["height"]
+    # vN: widest (slowest) and flattest (1 IPC).
+    assert width["vn"] == max(width.values())
+    assert height["vn"] == 1
+    # Tagged dataflow: the narrowest and tallest traces.
+    assert width["unordered"] == min(width.values())
+    assert height["unordered"] >= height["ordered"]
+    assert height["tyr"] >= height["seqdf"]

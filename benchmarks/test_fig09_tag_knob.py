@@ -1,0 +1,12 @@
+"""Bench: regenerate paper Fig. 9 (dmv state traces across tag counts)."""
+
+
+def test_fig09_tag_knob(regen):
+    report = regen("fig09", scale="default", tag_counts=(2, 8, 64))
+    cycles = report.data["cycles"]
+    peak = report.data["peak"]
+    # More tags -> faster execution and more live state.
+    assert cycles[2] > cycles[8] > cycles[64]
+    assert peak[2] < peak[8] < peak[64]
+    # With ample tags TYR approaches naive unordered dataflow.
+    assert cycles[64] <= 1.5 * report.data["unordered_cycles"]

@@ -1,0 +1,14 @@
+"""Bench: regenerate paper Fig. 11 (bounded-global-tag deadlock)."""
+
+
+def test_fig11_deadlock(regen):
+    report = regen("fig11", scale="small", total_tags=8)
+    assert report.data["deadlocked"]
+    assert report.data["pending_allocations"] > 0
+    assert report.data["tyr_completed"]
+    # The global-tag requirement grows with input size.
+    by_size = report.data["min_tags_by_size"]
+    sizes = sorted(by_size)
+    needs = [by_size[s] for s in sizes]
+    assert all(isinstance(v, int) for v in needs)
+    assert needs[-1] > needs[0]

@@ -1,0 +1,19 @@
+"""Bench: regenerate paper Fig. 12 (execution time, all apps/systems).
+
+Paper gmean slowdowns vs TYR: vN 68x, seqdf 22.7x, ordered 21.7x,
+unordered 0.77x. We assert the shape (ordering and rough bands), not
+the absolute factors -- our inputs are orders of magnitude smaller.
+"""
+
+
+def test_fig12_exec_time(regen):
+    report = regen("fig12", scale="default")
+    speedups = report.data["speedups"]
+    # The paper's ordering: vN >> seqdf ~ ordered >> 1 > unordered-ish.
+    assert speedups["vn"] > speedups["seqdf"] > 1
+    assert speedups["vn"] > speedups["ordered"] > 1
+    assert speedups["vn"] > 8  # "vastly outperforms" vN
+    assert 0.3 <= speedups["unordered"] <= 1.05  # near-unordered
+    # Every single app keeps the vn > tyr ordering.
+    for app, per in report.data["cycles"].items():
+        assert per["vn"] > per["tyr"], app

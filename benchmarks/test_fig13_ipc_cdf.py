@@ -1,0 +1,15 @@
+"""Bench: regenerate paper Fig. 13 (IPC CDF across apps/systems)."""
+
+
+def test_fig13_ipc_cdf(regen):
+    report = regen("fig13", scale="default")
+    medians = report.data["medians"]
+    p90 = report.data["p90"]
+    # vN never exceeds 1 IPC.
+    assert report.data["max"]["vn"] <= 1
+    # Sequential/ordered dataflow run at low IPC...
+    assert medians["seqdf"] < 16
+    assert medians["ordered"] < 32
+    # ...while tagged dataflow reaches far higher issue rates.
+    assert p90["unordered"] > 4 * max(p90["seqdf"], 1)
+    assert p90["tyr"] > 2 * max(p90["seqdf"], 1)

@@ -1,0 +1,20 @@
+"""Bench: regenerate paper Fig. 14 (peak/mean live tokens).
+
+Paper: TYR cuts peak state by gmean 572.8x vs unordered dataflow and
+sits 98.4x/136x/23x above vn/seqdf/ordered. We assert the shape: a
+large unordered/TYR gap and TYR above the ordered machines.
+"""
+
+
+def test_fig14_live_state(regen):
+    report = regen("fig14", scale="default")
+    ratios = report.data["ratios"]
+    assert ratios["unordered"] > 1.5  # unordered holds the most state
+    assert ratios["vn"] < 0.2  # vn holds far less than TYR
+    assert ratios["seqdf"] < 0.2
+    assert ratios["ordered"] < 0.5
+    # Per-app: unordered peak state always >= every other system's.
+    peak = report.data["peak"]
+    for app, per in peak.items():
+        assert per["unordered"] >= per["tyr"], app
+        assert per["unordered"] > per["vn"], app

@@ -1,0 +1,17 @@
+"""Bench: regenerate paper Fig. 15 (scaling with issue width on dmv)."""
+
+
+def test_fig15_issue_width(regen):
+    report = regen("fig15", scale="default",
+                   widths=(16, 32, 64, 128, 256, 512))
+    cycles = report.data["cycles"]
+    peak = report.data["peak"]
+    # Unordered/TYR keep gaining from width 16 -> 128.
+    assert cycles["unordered"][16] > 2 * cycles["unordered"][128]
+    assert cycles["tyr"][16] > 2 * cycles["tyr"][128]
+    # Sequential/ordered dataflow see little benefit past width 16.
+    assert cycles["seqdf"][16] < 1.5 * cycles["seqdf"][512]
+    assert cycles["ordered"][16] < 1.5 * cycles["ordered"][512]
+    # Live state is fairly insensitive to issue width for TYR.
+    tyr_peaks = list(peak["tyr"].values())
+    assert max(tyr_peaks) < 4 * min(tyr_peaks)

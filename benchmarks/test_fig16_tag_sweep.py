@@ -1,0 +1,17 @@
+"""Bench: regenerate paper Fig. 16 (spmspm across tag widths)."""
+
+
+def test_fig16_tag_sweep(regen):
+    report = regen("fig16", scale="default",
+                   tag_counts=(2, 8, 32, 64, 128, 512))
+    cycles = report.data["cycles"]
+    peak = report.data["peak"]
+    # Correct even with two tags per block (Theorem 1)...
+    assert cycles[2] > 0
+    # ...and performance improves with tags until saturation:
+    assert cycles[2] > cycles[8] >= cycles[64]
+    # beyond the knee, extra tags stop helping much.
+    assert cycles[64] <= cycles[512] * 2
+    assert cycles[512] <= cycles[64]
+    # State grows with tag count until parallelism is exhausted.
+    assert peak[2] < peak[64]

@@ -1,0 +1,21 @@
+"""Bench: regenerate paper Fig. 17 (IPC/state over width x tags)."""
+
+
+def test_fig17_width_tags(regen):
+    report = regen("fig17", scale="default",
+                   widths=(8, 16, 32, 64, 128),
+                   tag_counts=(2, 4, 8, 16, 32, 64))
+    ipc = report.data["ipc"]
+    peak = report.data["peak"]
+    # Performance needs both width and tags: the corner configs lag.
+    assert ipc["128x64"] > 2 * ipc["128x2"]  # tags bottleneck
+    assert ipc["128x64"] > 2 * ipc["8x64"]  # width bottleneck
+    # State grows with tags...
+    assert peak["128x64"] > peak["128x2"]
+    # ...but is insensitive to width at fixed tags.
+    assert peak["128x8"] < 4 * max(peak["8x8"], 1)
+    # The tags = width/2 scaling line rises monotonically in IPC.
+    line = report.data["line"]
+    widths = sorted(line)
+    ipcs = [line[w][0] for w in widths]
+    assert ipcs == sorted(ipcs)

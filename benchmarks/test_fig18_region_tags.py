@@ -1,0 +1,11 @@
+"""Bench: regenerate paper Fig. 18 (per-region tag sizing)."""
+
+
+def test_fig18_region_tags(regen):
+    report = regen("fig18")
+    # Shrinking only the outermost loop's tag space cuts peak state
+    # substantially (paper: 28.5%)...
+    assert report.data["reduction"] > 0.15
+    # ...at little or no performance cost.
+    assert report.data["slowdown"] < 1.1
+    assert report.data["outer_blocks"]

@@ -1,0 +1,46 @@
+"""Host-side simulator throughput (a real multi-round benchmark).
+
+Not a paper figure: this tracks the reproduction's own performance so
+regressions in the engines' hot paths are visible. Reports simulated
+instructions per host second for the tagged engine (the most heavily
+used machine).
+"""
+
+from repro.sim.memory import Memory
+from repro.sim.tagged import TaggedEngine, TyrPolicy
+from repro.workloads import build_workload
+
+
+def test_tagged_engine_throughput(benchmark):
+    wl = build_workload("dmv", "small")
+    graph = wl.compiled.tagged
+    args = wl.compiled.entry_args(wl.args)
+
+    def simulate():
+        engine = TaggedEngine(graph, wl.fresh_memory(), TyrPolicy(64),
+                              sample_traces=False)
+        return engine.run(args)
+
+    result = benchmark.pedantic(simulate, iterations=1, rounds=5)
+    assert result.completed
+    instrs_per_sec = result.instructions / benchmark.stats["mean"]
+    print(f"\n  {result.instructions} instructions simulated; "
+          f"~{instrs_per_sec / 1000:.0f}k instructions/host-second")
+    # Guard against order-of-magnitude regressions.
+    assert instrs_per_sec > 20_000
+
+
+def test_ordered_engine_throughput(benchmark):
+    wl = build_workload("dmv", "small")
+    flat = wl.compiled.flat
+    args = wl.compiled.entry_args(wl.args)
+
+    def simulate():
+        from repro.sim.queued import QueuedEngine
+        engine = QueuedEngine(flat, wl.fresh_memory(),
+                              sample_traces=False)
+        return engine.run(args)
+
+    result = benchmark.pedantic(simulate, iterations=1, rounds=5)
+    assert result.completed
+    assert result.instructions / benchmark.stats["mean"] > 20_000

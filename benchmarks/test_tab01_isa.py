@@ -1,0 +1,11 @@
+"""Bench: regenerate paper Table I (TYR's instruction set)."""
+
+
+def test_tab01_isa(regen):
+    report = regen("tab01")
+    sync = report.data["token synchronization"]
+    assert set(sync) == {"allocate", "free", "changeTag", "extractTag"}
+    assert "load" in report.data["memory"]
+    assert "store" in report.data["memory"]
+    assert "steer" in report.data["control"]
+    assert "join" in report.data["control"]

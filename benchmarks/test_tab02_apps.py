@@ -1,0 +1,11 @@
+"""Bench: regenerate paper Table II (applications and input sizes)."""
+
+from repro.workloads import WORKLOAD_NAMES
+
+
+def test_tab02_apps(regen):
+    report = regen("tab02", scale="default")
+    dyn = report.data["dynamic_ops"]
+    assert set(dyn) == set(WORKLOAD_NAMES)
+    # Each benchmark does nontrivial work at the default scale.
+    assert all(v > 2_000 for v in dyn.values())

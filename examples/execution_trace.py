@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's Fig. 4/5 dynamic execution graphs.
+
+With ``record_trace=True`` the tagged engine records every dynamic
+instruction firing (placed at its cycle) and every token flow between
+them -- the paper's "dynamic execution graph", where trace width is
+time, height is parallelism, and edges crossing a vertical cut are the
+live tokens at that instant.
+
+This script traces dmv under unordered dataflow and under TYR with two
+tags per block, prints their parallelism profiles, and writes Graphviz
+files you can render with ``dot -Tsvg``.
+
+Run:  python examples/execution_trace.py
+"""
+
+from repro import CompiledWorkload, Memory
+from repro.frontend.lower import lower_module
+from repro.sim.tagged import TaggedEngine, TyrPolicy, UnboundedGlobalPolicy
+from repro.workloads import build_workload
+
+
+def sparkline(values, width=64):
+    blocks = " .:-=+*#%@"
+    if len(values) > width:
+        step = len(values) / width
+        values = [max(values[int(i * step):max(int(i * step) + 1,
+                                               int((i + 1) * step))])
+                  for i in range(width)]
+    top = max(values) or 1
+    return "".join(blocks[min(int(v / top * (len(blocks) - 1)),
+                              len(blocks) - 1)] for v in values)
+
+
+def main() -> None:
+    workload = build_workload("dmv", "tiny", n=4)
+    compiled = CompiledWorkload(lower_module(workload.module))
+
+    for label, policy, path in [
+        ("unordered dataflow (Fig. 5e)", UnboundedGlobalPolicy(),
+         "trace_unordered.dot"),
+        ("TYR, 2 tags/block", TyrPolicy(2), "trace_tyr2.dot"),
+    ]:
+        engine = TaggedEngine(compiled.tagged, workload.fresh_memory(),
+                              policy, record_trace=True)
+        result = engine.run(compiled.entry_args(workload.args))
+        trace = engine.trace
+        profile = trace.parallelism_profile()
+        print(f"{label}:")
+        print(f"  trace width (time)        = {trace.duration} cycles")
+        print(f"  trace height (parallelism)= {max(profile)} "
+              f"instructions/cycle")
+        print(f"  events={len(trace.events)}  token edges="
+              f"{len(trace.edges)}")
+        print(f"  profile: |{sparkline(profile)}|")
+        with open(path, "w") as f:
+            f.write(trace.to_dot())
+        print(f"  wrote {path} (render: dot -Tsvg {path} -o out.svg)\n")
+        assert result.completed
+
+    print("Same program, same tokens -- unordered dataflow explores it "
+          "breadth-first\n(tall and narrow), TYR with two tags walks a "
+          "bounded frontier (longer but flat),\nexactly the paper's "
+          "Fig. 1 picture.")
+
+
+if __name__ == "__main__":
+    main()

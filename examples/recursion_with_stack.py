@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""General recursion on TYR via the explicit-stack transformation.
+
+TYR's call graph must be acyclic (Theorem 1 assumes general recursion
+has been converted to tail form with an explicitly managed stack,
+paper Sec. V / VIII-B). This example performs that transformation by
+hand for the paper's own example -- naive Fibonacci::
+
+    def fib(N):
+        if N <= 2: return 1
+        return fib(N-1) + fib(N-2)
+
+becomes a work-list loop over an explicit stack. The stack moves the
+unboundable recursion state from dataflow tokens into memory, exactly
+as the paper prescribes: token state stays bounded (Theorem 2) while
+memory grows with the call-tree depth.
+
+Run:  python examples/recursion_with_stack.py
+"""
+
+from repro import CompiledWorkload, Memory, lower_module
+from repro.frontend import (
+    ArraySpec,
+    Assign,
+    Function,
+    If,
+    Module,
+    Return,
+    Store,
+    While,
+    c,
+    load,
+    v,
+)
+
+module = Module(
+    functions=[
+        Function("main", ["N"], [
+            Store("stack", c(0), v("N")),
+            Assign("sp", c(1)),
+            Assign("acc", c(0)),
+            While(v("sp") > 0, [
+                Assign("sp", v("sp") - 1),
+                Assign("x", load("stack", v("sp"))),
+                If(v("x") <= 2, [
+                    Assign("acc", v("acc") + 1),
+                ], [
+                    # "Recurse": push both subproblems.
+                    Store("stack", v("sp"), v("x") - 1),
+                    Store("stack", v("sp") + 1, v("x") - 2),
+                    Assign("sp", v("sp") + 2),
+                ]),
+            ], label="worklist"),
+            Return([v("acc")]),
+        ]),
+    ],
+    arrays=[ArraySpec("stack")],
+)
+
+
+def fib(n: int) -> int:
+    a, b = 1, 1
+    for _ in range(n - 2):
+        a, b = b, a + b
+    return b if n > 1 else 1
+
+
+def main() -> None:
+    program = lower_module(module)
+    compiled = CompiledWorkload(program)
+    print("fib(N) via an explicit stack, on TYR with 4 tags/block:\n")
+    for n in (1, 5, 10, 14):
+        memory = Memory({"stack": [0] * 1024})
+        result = compiled.run("tyr", memory, [n], tags=4)
+        got = result.extra["declared_results"][0]
+        print(f"  fib({n:2d}) = {got:4d} (expected {fib(n):4d})  "
+              f"cycles={result.cycles:<6d} "
+              f"peak live tokens={result.peak_live}")
+        assert got == fib(n)
+    print("\nToken state stays bounded (Theorem 2) -- the recursion "
+          "lives in memory,\nwhere it belongs. The cost is the memory "
+          "ordering of the stack, which\nserializes the work list; "
+          "paper Sec. VIII-B sketches work-stealing-style\nactivation "
+          "trees as the future-work remedy.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,194 @@
+"""Command-line interface.
+
+Examples::
+
+    tyr-repro list
+    tyr-repro run dmv --machine tyr --scale default --tags 8
+    tyr-repro experiment fig12 --scale default
+    tyr-repro experiment all --scale small
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.errors import DeadlockError, ReproError
+from repro.harness.experiments import EXPERIMENTS, get_experiment
+from repro.harness.runner import MACHINES
+from repro.workloads import WORKLOAD_NAMES, build_workload, paper_parameters
+from repro.workloads.registry import EXTRA_WORKLOADS, SCALES
+
+
+def _cmd_list(args) -> int:
+    print("workloads (paper Table II):")
+    for name in WORKLOAD_NAMES:
+        scales = ", ".join(sorted(SCALES[name]))
+        print(f"  {name:8s} paper: {paper_parameters(name)}")
+        print(f"  {'':8s} scales: {scales}")
+    print("extra workloads:", ", ".join(EXTRA_WORKLOADS))
+    print("machines:", ", ".join(MACHINES))
+    print("experiments:", ", ".join(sorted(EXPERIMENTS)))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    wl = build_workload(args.workload, args.scale)
+    print(f"{args.workload} ({args.scale}): params {wl.params}")
+    kwargs = dict(
+        tags=args.tags,
+        issue_width=args.issue_width,
+        queue_depth=args.queue_depth,
+        window=args.window,
+        total_tags=args.total_tags,
+    )
+    for machine in args.machine:
+        start = time.time()
+        try:
+            res = wl.run_checked(machine, **kwargs)
+            elapsed = time.time() - start
+            print(f"  {res.summary()}  [{elapsed:.1f}s wall, "
+                  f"outputs verified]")
+        except DeadlockError as err:
+            print(f"  {machine}: DEADLOCK\n{err}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    names: List[str]
+    if args.name == "all":
+        names = sorted(EXPERIMENTS)
+    else:
+        names = [args.name]
+    for name in names:
+        start = time.time()
+        report = get_experiment(name)(scale=args.scale)
+        print(report)
+        print(f"[{name} regenerated in {time.time() - start:.1f}s]\n")
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    from repro.ir.printer import format_program, to_dot
+
+    wl = build_workload(args.workload, args.scale)
+    program = wl.compiled.program
+    print(format_program(program))
+    graph = wl.compiled.tagged
+    print(f"\nelaborated: {graph.static_instructions} instructions, "
+          f"{len(graph.blocks)} tag spaces")
+    for op_name, count in sorted(graph.stats().items()):
+        print(f"  {op_name:12s} {count}")
+    if args.dot:
+        with open(args.dot, "w") as f:
+            f.write(to_dot(program))
+        print(f"wrote {args.dot}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.sim.tagged import (
+        TaggedEngine,
+        TyrPolicy,
+        UnboundedGlobalPolicy,
+    )
+
+    wl = build_workload(args.workload, args.scale)
+    policy = (TyrPolicy(args.tags) if args.machine == "tyr"
+              else UnboundedGlobalPolicy())
+    engine = TaggedEngine(wl.compiled.tagged, wl.fresh_memory(),
+                          policy, record_trace=True)
+    result = engine.run(wl.compiled.entry_args(wl.args))
+    trace = engine.trace
+    profile = trace.parallelism_profile()
+    print(f"{args.machine} on {args.workload} ({args.scale}): "
+          f"{len(trace.events)} events over {trace.duration} cycles, "
+          f"peak parallelism {max(profile)}")
+    print(f"completed: {result.completed}")
+    if args.dot:
+        with open(args.dot, "w") as f:
+            f.write(trace.to_dot(max_events=20_000))
+        print(f"wrote {args.dot} (render: dot -Tsvg {args.dot})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tyr-repro",
+        description="Reproduction of the TYR dataflow architecture "
+                    "(MICRO 2024)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads, machines, experiments")
+
+    run_p = sub.add_parser("run", help="run a workload on machines")
+    run_p.add_argument("workload",
+                       choices=WORKLOAD_NAMES + EXTRA_WORKLOADS)
+    run_p.add_argument("--machine", "-m", action="append",
+                       choices=MACHINES, default=None)
+    run_p.add_argument("--scale", default="default")
+    run_p.add_argument("--tags", type=int, default=64,
+                       help="tags per local tag space (TYR/k-bounded)")
+    run_p.add_argument("--total-tags", type=int, default=64,
+                       help="global pool size (unordered-bounded)")
+    run_p.add_argument("--issue-width", type=int, default=128)
+    run_p.add_argument("--queue-depth", type=int, default=4)
+    run_p.add_argument("--window", type=int, default=8)
+
+    exp_p = sub.add_parser("experiment",
+                           help="regenerate a paper figure/table")
+    exp_p.add_argument("name",
+                       choices=sorted(EXPERIMENTS) + ["all"])
+    exp_p.add_argument("--scale", default="default")
+
+    ins_p = sub.add_parser(
+        "inspect", help="show a workload's concurrent blocks"
+    )
+    ins_p.add_argument("workload",
+                       choices=WORKLOAD_NAMES + EXTRA_WORKLOADS)
+    ins_p.add_argument("--scale", default="tiny")
+    ins_p.add_argument("--dot", metavar="FILE",
+                       help="also write a Graphviz rendering")
+
+    tr_p = sub.add_parser(
+        "trace",
+        help="record a dynamic execution graph (paper Figs. 4/5)",
+    )
+    tr_p.add_argument("workload",
+                      choices=WORKLOAD_NAMES + EXTRA_WORKLOADS)
+    tr_p.add_argument("--scale", default="tiny")
+    tr_p.add_argument("--machine", "-m", default="tyr",
+                      choices=["tyr", "unordered"])
+    tr_p.add_argument("--tags", type=int, default=64)
+    tr_p.add_argument("--dot", metavar="FILE",
+                      help="write the Graphviz execution graph here")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "run" and not args.machine:
+        args.machine = ["vn", "seqdf", "ordered", "unordered", "tyr"]
+    try:
+        if args.command == "list":
+            return _cmd_list(args)
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "experiment":
+            return _cmd_experiment(args)
+        if args.command == "inspect":
+            return _cmd_inspect(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
+    except ReproError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

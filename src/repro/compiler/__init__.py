@@ -1,0 +1,23 @@
+"""Lowerings from the context IR to executable machine graphs.
+
+* :mod:`repro.compiler.elaborate` -- tagged dataflow graph with TYR's
+  concurrent-block linkage (paper Fig. 10). Executed by
+  :mod:`repro.sim.tagged` under unordered / TYR / k-bounded tag
+  policies.
+* :mod:`repro.compiler.flatten` -- flat steer graph with loop-head
+  gates. Executed by the ordered-dataflow engine
+  (:mod:`repro.sim.queued`).
+"""
+
+from repro.compiler.graph import TaggedGraph, TaggedNode
+from repro.compiler.elaborate import elaborate
+from repro.compiler.flatten import FlatGraph, FlatNode, flatten
+
+__all__ = [
+    "TaggedGraph",
+    "TaggedNode",
+    "elaborate",
+    "FlatGraph",
+    "FlatNode",
+    "flatten",
+]

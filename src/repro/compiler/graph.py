@@ -1,0 +1,127 @@
+"""Elaborated tagged dataflow graph.
+
+The elaborated graph is what a tagged dataflow machine executes: every
+instruction is a node, every producer-consumer relationship an edge,
+and all transfer points are explicit ``allocate`` / ``changeTag`` /
+``join`` / ``free`` instruction chains (paper Fig. 10). Immediates are
+attached to input ports, mirroring how dataflow ISAs encode constants
+(a constant never occupies a token).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import CompileError
+from repro.ir.ops import Op
+
+#: An edge destination: (node id, input port).
+Dest = Tuple[int, int]
+
+
+@dataclass
+class TaggedNode:
+    """One static instruction of the elaborated graph."""
+
+    node_id: int
+    op: Op
+    block: str  # owning concurrent block (defines the tag space)
+    n_inputs: int
+    n_outputs: int
+    #: Immediate operands by input port; these ports never hold tokens.
+    imms: Dict[int, object] = field(default_factory=dict)
+    #: Consumers of each output port. An empty list means the token is
+    #: discarded on emission.
+    out_edges: List[List[Dest]] = field(default_factory=list)
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def token_ports(self) -> List[int]:
+        """Input ports that receive tokens (non-immediate)."""
+        return [p for p in range(self.n_inputs) if p not in self.imms]
+
+    def __repr__(self) -> str:
+        return (f"<n{self.node_id} {self.op.value} @{self.block} "
+                f"in={self.n_inputs} out={self.n_outputs}>")
+
+
+@dataclass
+class TaggedGraph:
+    """A complete elaborated program."""
+
+    nodes: List[TaggedNode] = field(default_factory=list)
+    entry_block: str = "main"
+    #: Destinations of each entry argument (token seeded by the engine
+    #: with the root tag).
+    entry_sources: List[List[Dest]] = field(default_factory=list)
+    #: Node ids whose firing records a program result
+    #: (``attrs["result_index"]`` gives the slot).
+    result_nodes: List[int] = field(default_factory=list)
+    #: Tag-space sizes: block name -> override (None = policy default).
+    tag_overrides: Dict[str, Optional[int]] = field(default_factory=dict)
+    #: All concurrent-block names (= tag spaces).
+    blocks: List[str] = field(default_factory=list)
+
+    def new_node(self, op: Op, block: str, n_inputs: int, n_outputs: int,
+                 **attrs) -> TaggedNode:
+        node = TaggedNode(
+            node_id=len(self.nodes),
+            op=op,
+            block=block,
+            n_inputs=n_inputs,
+            n_outputs=n_outputs,
+            out_edges=[[] for _ in range(n_outputs)],
+            attrs=attrs,
+        )
+        self.nodes.append(node)
+        return node
+
+    def connect(self, src: TaggedNode, port: int, dest: TaggedNode,
+                dest_port: int) -> None:
+        if port >= src.n_outputs:
+            raise CompileError(f"{src}: no output port {port}")
+        if dest_port >= dest.n_inputs:
+            raise CompileError(f"{dest}: no input port {dest_port}")
+        src.out_edges[port].append((dest.node_id, dest_port))
+
+    # -- Theorem 2 quantities ------------------------------------------
+    @property
+    def static_instructions(self) -> int:
+        """N in the paper's Theorem 2."""
+        return len(self.nodes)
+
+    @property
+    def max_inputs(self) -> int:
+        """M in the paper's Theorem 2."""
+        return max((len(n.token_ports) for n in self.nodes), default=1)
+
+    def token_bound(self, tags_per_space: int) -> int:
+        """The Theorem 2 live-token bound ``T * N * M``."""
+        return tags_per_space * self.static_instructions * self.max_inputs
+
+    def stats(self) -> Dict[str, int]:
+        """Node counts per opcode (for reporting and tests)."""
+        out: Dict[str, int] = {}
+        for n in self.nodes:
+            out[n.op.value] = out.get(n.op.value, 0) + 1
+        return out
+
+    def check(self) -> None:
+        """Internal-consistency checks on the finished graph."""
+        for n in self.nodes:
+            if len(n.out_edges) != n.n_outputs:
+                raise CompileError(f"{n}: malformed out_edges")
+            for port_edges in n.out_edges:
+                for dest_id, dest_port in port_edges:
+                    if not 0 <= dest_id < len(self.nodes):
+                        raise CompileError(f"{n}: edge to bad node")
+                    dest = self.nodes[dest_id]
+                    if dest_port in dest.imms:
+                        raise CompileError(
+                            f"{n}: edge into immediate port of {dest}"
+                        )
+                    if not 0 <= dest_port < dest.n_inputs:
+                        raise CompileError(f"{n}: edge to bad port")
+            if not n.token_ports and n.op is not Op.FREE:
+                raise CompileError(f"{n}: no token inputs; can never fire")

@@ -1,0 +1,250 @@
+"""Optimization passes over the context IR.
+
+The frontend's lowering is deliberately mechanical; these passes clean
+up afterwards, the way the paper's LLVM/UDIR pipeline would:
+
+* **copy/select folding** -- ``COPY x`` and ``SELECT(const, a, b)``
+  forward their operand;
+* **algebraic simplification** -- ``x+0``, ``x*1``, ``x*0``, ``x-0``,
+  ``x&0``, ``x|0``, double steers of the same decider, etc.;
+* **dead-op elimination** -- pure ops (and loads) whose results are
+  never consumed by any op, terminator, or spawn are removed; stores,
+  spawns and everything feeding them stay.
+
+Passes preserve the structural invariants validation checks (DAG-ness,
+region guards, terminator placement); `optimize_program` re-validates
+afterwards. They are semantics-preserving: the property suite runs
+every optimized program against the unoptimized reference.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from repro.ir.ops import OP_INFO, Op, evaluate_pure
+from repro.ir.program import (
+    BlockDef,
+    ContextProgram,
+    IfRegion,
+    Lit,
+    LoopTerm,
+    OpDef,
+    Param,
+    Region,
+    Res,
+    ReturnTerm,
+    ValueRef,
+)
+from repro.ir.validate import validate_program
+
+
+def optimize_program(program: ContextProgram,
+                     max_rounds: int = 4) -> ContextProgram:
+    """Run the pass pipeline to a fixed point (in place) and return the
+    program."""
+    for block in program.blocks.values():
+        for _ in range(max_rounds):
+            changed = simplify_block(block)
+            changed |= eliminate_dead_ops(block)
+            if not changed:
+                break
+    validate_program(program)
+    return program
+
+
+# ---------------------------------------------------------------------------
+# Simplification (rewrites op inputs through a substitution map)
+# ---------------------------------------------------------------------------
+
+_NEUTRAL_RIGHT = {
+    Op.ADD: 0, Op.SUB: 0, Op.MUL: 1, Op.DIV: 1,
+    Op.SHL: 0, Op.SHR: 0, Op.BOR: 0, Op.BXOR: 0,
+}
+_NEUTRAL_LEFT = {Op.ADD: 0, Op.MUL: 1, Op.BOR: 0, Op.BXOR: 0}
+_ZERO_RIGHT = {Op.MUL: 0, Op.BAND: 0}
+_ZERO_LEFT = {Op.MUL: 0, Op.BAND: 0}
+
+
+def simplify_block(block: BlockDef) -> bool:
+    """One round of local rewrites; returns True if anything changed."""
+    subst: Dict[Tuple[int, int], ValueRef] = {}
+    changed = False
+    for op in block.ops:
+        # First apply accumulated substitutions to this op's inputs.
+        new_inputs = tuple(_subst_ref(r, subst) for r in op.inputs)
+        if new_inputs != op.inputs:
+            op.inputs = new_inputs
+            changed = True
+        replacement = _simplify_op(block, op)
+        if replacement is not None:
+            subst[(op.op_id, 0)] = replacement
+            changed = True
+    if subst:
+        _apply_to_terminator(block, subst)
+    return changed
+
+
+def _subst_ref(ref: ValueRef,
+               subst: Dict[Tuple[int, int], ValueRef]) -> ValueRef:
+    while isinstance(ref, Res) and (ref.op_id, ref.port) in subst:
+        ref = subst[(ref.op_id, ref.port)]
+    return ref
+
+
+def _apply_to_terminator(block: BlockDef,
+                         subst: Dict[Tuple[int, int], ValueRef]) -> None:
+    term = block.terminator
+    if isinstance(term, ReturnTerm):
+        term.results = tuple(_subst_ref(r, subst) for r in term.results)
+    elif isinstance(term, LoopTerm):
+        term.decider = _subst_ref(term.decider, subst)
+        term.next_args = tuple(_subst_ref(r, subst)
+                               for r in term.next_args)
+        term.results = tuple(_subst_ref(r, subst) for r in term.results)
+
+
+def _simplify_op(block: BlockDef, op: OpDef) -> Optional[ValueRef]:
+    """Return a replacement ref for op's port-0 output, or None.
+
+    Rewrites must preserve token discipline: a replacement is only
+    legal if it does not change under which guard the value exists, so
+    we only forward values produced in the same region chain (which
+    operands of a non-steer op always are).
+    """
+    info = OP_INFO[op.op]
+    if not info.pure:
+        return None
+    inputs = op.inputs
+    if all(isinstance(r, Lit) for r in inputs):
+        return Lit(evaluate_pure(op.op, *(r.value for r in inputs)))
+    if op.op is Op.COPY:
+        return inputs[0]
+    if op.op is Op.SELECT and isinstance(inputs[0], Lit):
+        # SELECT with a literal condition forwards one side -- but both
+        # sides' tokens must still be consumed, so only rewrite when
+        # the discarded side is a literal (no token).
+        chosen, other = ((inputs[1], inputs[2]) if inputs[0].value
+                        else (inputs[2], inputs[1]))
+        if isinstance(other, Lit):
+            return chosen
+        return None
+    if len(inputs) == 2:
+        lhs, rhs = inputs
+        if isinstance(rhs, Lit):
+            if op.op in _NEUTRAL_RIGHT and rhs.value == _NEUTRAL_RIGHT[op.op]:
+                return lhs
+            if (op.op in _ZERO_RIGHT and rhs.value == _ZERO_RIGHT[op.op]
+                    and isinstance(lhs, Lit)):
+                return Lit(0)
+        if isinstance(lhs, Lit):
+            if op.op in _NEUTRAL_LEFT and lhs.value == _NEUTRAL_LEFT[op.op]:
+                return rhs
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Dead-op elimination
+# ---------------------------------------------------------------------------
+
+def eliminate_dead_ops(block: BlockDef) -> bool:
+    """Remove pure ops and loads whose outputs nobody consumes."""
+    live: Set[int] = set()
+    worklist: List[int] = []
+
+    def mark(ref: ValueRef) -> None:
+        if isinstance(ref, Res) and ref.op_id not in live:
+            live.add(ref.op_id)
+            worklist.append(ref.op_id)
+
+    term = block.terminator
+    if isinstance(term, ReturnTerm):
+        for r in term.results:
+            mark(r)
+    elif isinstance(term, LoopTerm):
+        mark(term.decider)
+        for r in term.next_args:
+            mark(r)
+        for r in term.results:
+            mark(r)
+    # Side-effecting / structural ops are always live roots.
+    for op in block.ops:
+        if op.op in (Op.STORE, Op.SPAWN):
+            live.add(op.op_id)
+            worklist.append(op.op_id)
+    # Deciders of non-empty regions keep their producers alive (the
+    # steers and merges inside need them). Empty regions are pruned by
+    # the rewrite below, so their deciders may die.
+    def mark_region_deciders(region: Region) -> None:
+        for item in region.items:
+            if isinstance(item, IfRegion):
+                if (item.then_region.all_op_ids()
+                        or item.else_region.all_op_ids()):
+                    mark(item.decider)
+                mark_region_deciders(item.then_region)
+                mark_region_deciders(item.else_region)
+
+    mark_region_deciders(block.region)
+
+    while worklist:
+        op = block.ops[worklist.pop()]
+        for ref in op.inputs:
+            mark(ref)
+
+    dead = [op.op_id for op in block.ops if op.op_id not in live]
+    if not dead:
+        return False
+    _remove_ops(block, set(dead))
+    return True
+
+
+def _remove_ops(block: BlockDef, dead: Set[int]) -> None:
+    # Build the id remapping.
+    remap: Dict[int, int] = {}
+    new_ops: List[OpDef] = []
+    for op in block.ops:
+        if op.op_id in dead:
+            continue
+        remap[op.op_id] = len(new_ops)
+        op.op_id = len(new_ops)
+        new_ops.append(op)
+    block.ops = new_ops
+
+    def fix(ref: ValueRef) -> ValueRef:
+        if isinstance(ref, Res):
+            return Res(remap[ref.op_id], ref.port)
+        return ref
+
+    for op in block.ops:
+        op.inputs = tuple(fix(r) for r in op.inputs)
+    term = block.terminator
+    if isinstance(term, ReturnTerm):
+        term.results = tuple(fix(r) for r in term.results)
+    elif isinstance(term, LoopTerm):
+        term.decider = fix(term.decider)
+        term.next_args = tuple(fix(r) for r in term.next_args)
+        term.results = tuple(fix(r) for r in term.results)
+    _rewrite_region(block.region, remap, dead)
+    _fix_region_deciders(block.region, fix)
+
+
+def _rewrite_region(region: Region, remap: Dict[int, int],
+                    dead: Set[int]) -> None:
+    new_items: List[Union[int, IfRegion]] = []
+    for item in region.items:
+        if isinstance(item, IfRegion):
+            _rewrite_region(item.then_region, remap, dead)
+            _rewrite_region(item.else_region, remap, dead)
+            if item.then_region.items or item.else_region.items:
+                new_items.append(item)
+            # else: both sides empty -- the region disappears.
+        elif item not in dead:
+            new_items.append(remap[item])
+    region.items = new_items
+
+
+def _fix_region_deciders(region: Region, fix) -> None:
+    for item in region.items:
+        if isinstance(item, IfRegion):
+            item.decider = fix(item.decider)
+            _fix_region_deciders(item.then_region, fix)
+            _fix_region_deciders(item.else_region, fix)

@@ -1,0 +1,115 @@
+"""Static verification of elaborated tagged graphs.
+
+The free barrier's guarantee -- "no tokens with tag t exist when free
+fires" (paper Sec. IV-A) -- has a checkable structural core: within a
+concurrent block, every instruction must have a directed path to the
+block's ``free``, so that the barrier's transitive fan-in covers every
+token the context can create. The elaborator's fuzzing found multiple
+bugs of exactly this class; this verifier makes the invariant explicit
+and is run by the test suite on every compiled workload.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Set
+
+from repro.errors import CompileError
+from repro.compiler.elaborate import ROOT_BLOCK
+from repro.compiler.graph import TaggedGraph
+from repro.ir.ops import Op
+
+
+def verify_tagged_graph(graph: TaggedGraph) -> None:
+    """Raise :class:`CompileError` on structural violations."""
+    _check_unique_frees(graph)
+    _check_tagspaces(graph)
+    _check_barrier_coverage(graph)
+    _check_no_orphans(graph)
+
+
+def _check_unique_frees(graph: TaggedGraph) -> None:
+    frees: Dict[str, int] = {}
+    for node in graph.nodes:
+        if node.op is Op.FREE:
+            frees[node.block] = frees.get(node.block, 0) + 1
+    for block in graph.blocks:
+        if frees.get(block, 0) != 1:
+            raise CompileError(
+                f"block {block!r} has {frees.get(block, 0)} free "
+                f"instructions (expected exactly 1)"
+            )
+    if ROOT_BLOCK in frees:
+        raise CompileError("the root pseudo-block must not free tags")
+
+
+def _check_tagspaces(graph: TaggedGraph) -> None:
+    known = set(graph.blocks)
+    for node in graph.nodes:
+        if node.op in (Op.ALLOCATE, Op.FREE):
+            space = node.attrs.get("tagspace")
+            if space not in known:
+                raise CompileError(
+                    f"{node} references unknown tag space {space!r}"
+                )
+        if node.op is Op.CHANGE_TAG and "route_table" in node.attrs:
+            if not node.attrs["route_table"]:
+                raise CompileError(f"{node} has an empty route table")
+
+
+def _check_barrier_coverage(graph: TaggedGraph) -> None:
+    """Every node of a block must reach the block's free."""
+    free_of: Dict[str, int] = {}
+    for node in graph.nodes:
+        if node.op is Op.FREE:
+            free_of[node.block] = node.node_id
+    # Reverse reachability from each free, restricted to its block.
+    preds: Dict[int, List[int]] = {n.node_id: [] for n in graph.nodes}
+    for node in graph.nodes:
+        for edges in node.out_edges:
+            for dest, _ in edges:
+                preds[dest].append(node.node_id)
+    for block, free_id in free_of.items():
+        covered: Set[int] = {free_id}
+        frontier = deque([free_id])
+        while frontier:
+            nid = frontier.popleft()
+            for pred in preds[nid]:
+                if (pred not in covered
+                        and graph.nodes[pred].block == block):
+                    covered.add(pred)
+                    frontier.append(pred)
+        for node in graph.nodes:
+            if node.block == block and node.node_id not in covered:
+                raise CompileError(
+                    f"{node} cannot reach block {block!r}'s free "
+                    f"barrier; its tokens could outlive the tag"
+                )
+
+
+def _check_no_orphans(graph: TaggedGraph) -> None:
+    """Every node must be reachable from the entry sources (no dead
+    nodes that could never fire)."""
+    reach: Set[int] = set()
+    frontier = deque()
+    for dests in graph.entry_sources:
+        for dest, _ in dests:
+            if dest not in reach:
+                reach.add(dest)
+                frontier.append(dest)
+    while frontier:
+        nid = frontier.popleft()
+        node = graph.nodes[nid]
+        targets = [d for edges in node.out_edges for d, _ in edges]
+        if node.op is Op.CHANGE_TAG and "route_table" in node.attrs:
+            targets += [d for dests in node.attrs["route_table"].values()
+                        for d, _ in dests]
+        for dest in targets:
+            if dest not in reach:
+                reach.add(dest)
+                frontier.append(dest)
+    orphans = [n for n in graph.nodes if n.node_id not in reach]
+    if orphans:
+        raise CompileError(
+            f"{len(orphans)} unreachable node(s), e.g. {orphans[0]}"
+        )

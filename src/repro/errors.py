@@ -1,0 +1,52 @@
+"""Exception hierarchy for the TYR reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch library failures without also catching programming
+mistakes (``TypeError`` etc.). Subclasses mirror the pipeline stages:
+program construction, compilation, and simulation.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ProgramError(ReproError):
+    """A structured program (frontend AST) is malformed."""
+
+
+class IRError(ReproError):
+    """A context program (dataflow IR) is structurally invalid."""
+
+
+class CompileError(ReproError):
+    """Lowering or elaboration of a valid IR failed."""
+
+
+class SimulationError(ReproError):
+    """A machine model failed while executing a compiled program."""
+
+
+class DeadlockError(SimulationError):
+    """The machine reached a state with pending work but no fireable
+    instruction.
+
+    This is an *expected* outcome for unordered dataflow with a bounded
+    global tag pool (paper Fig. 11); it is a bug for TYR with >= 2 tags
+    per concurrent block (paper Theorem 1). The attached ``diagnosis``
+    describes the pending tag allocations and waiting tokens.
+    """
+
+    def __init__(self, message: str, diagnosis: "object | None" = None):
+        super().__init__(message)
+        self.diagnosis = diagnosis
+
+
+class TokenBoundExceeded(SimulationError):
+    """Live-token count exceeded the Theorem 2 bound ``T * N * M``."""
+
+
+class MemoryError_(SimulationError):
+    """An out-of-bounds or undeclared-array access occurred."""

@@ -1,0 +1,355 @@
+"""Structured-program AST.
+
+This is the input language of the reproduction -- the role C plays in
+the paper. It is deliberately small but *general*: arbitrary
+data-dependent ``while`` loops, nested loops, forward branches, and
+calls over an acyclic call graph, which is exactly the program class
+TYR targets (paper Sec. IV: "arbitrary loops and acyclic call graphs").
+
+Expressions support Python operator overloading so workloads read
+naturally::
+
+    w = v("w") + load("A", v("i") * c(n) + v("j")) * load("B", v("j"))
+
+Memory ordering is *not* written by the programmer: the lowering
+threads order tokens automatically (see :mod:`repro.frontend.lower`).
+Loops may be annotated ``parallel=("arr",)`` to assert that iterations
+touch disjoint elements of ``arr`` -- the assertion every parallelizing
+dataflow compiler needs, and one the test suite cross-checks against a
+sequential oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple, Union
+
+from repro.errors import ProgramError
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+#: Binary operator spellings accepted by :class:`BinOp`.
+BINARY_OPS = (
+    "+", "-", "*", "/", "%", "<<", ">>", "&", "|", "^",
+    "<", "<=", ">", ">=", "==", "!=", "min", "max",
+)
+UNARY_OPS = ("not", "-")
+
+
+class Expr:
+    """Base class for expressions; provides operator sugar."""
+
+    def _bin(self, op: str, other: "ExprLike", swap: bool = False) -> "BinOp":
+        other = as_expr(other)
+        return BinOp(op, other, self) if swap else BinOp(op, self, other)
+
+    def __add__(self, o):
+        return self._bin("+", o)
+
+    def __radd__(self, o):
+        return self._bin("+", o, swap=True)
+
+    def __sub__(self, o):
+        return self._bin("-", o)
+
+    def __rsub__(self, o):
+        return self._bin("-", o, swap=True)
+
+    def __mul__(self, o):
+        return self._bin("*", o)
+
+    def __rmul__(self, o):
+        return self._bin("*", o, swap=True)
+
+    def __truediv__(self, o):
+        return self._bin("/", o)
+
+    def __mod__(self, o):
+        return self._bin("%", o)
+
+    def __lshift__(self, o):
+        return self._bin("<<", o)
+
+    def __rshift__(self, o):
+        return self._bin(">>", o)
+
+    def __and__(self, o):
+        return self._bin("&", o)
+
+    def __or__(self, o):
+        return self._bin("|", o)
+
+    def __xor__(self, o):
+        return self._bin("^", o)
+
+    def __lt__(self, o):
+        return self._bin("<", o)
+
+    def __le__(self, o):
+        return self._bin("<=", o)
+
+    def __gt__(self, o):
+        return self._bin(">", o)
+
+    def __ge__(self, o):
+        return self._bin(">=", o)
+
+    # Equality builds an expression (the node classes use eq=False so
+    # this is not shadowed by dataclass-generated __eq__).
+    def __eq__(self, o):
+        return self._bin("==", o)
+
+    def __ne__(self, o):
+        return self._bin("!=", o)
+
+    __hash__ = object.__hash__
+
+    def eq(self, o):
+        return self._bin("==", o)
+
+    def ne(self, o):
+        return self._bin("!=", o)
+
+    def min(self, o):
+        return self._bin("min", o)
+
+    def max(self, o):
+        return self._bin("max", o)
+
+    def __neg__(self):
+        return UnOp("-", self)
+
+    def logical_not(self):
+        return UnOp("not", self)
+
+
+ExprLike = Union[Expr, int, float, bool]
+
+
+def as_expr(x: ExprLike) -> Expr:
+    """Coerce a Python scalar into a :class:`Const`."""
+    if isinstance(x, Expr):
+        return x
+    if isinstance(x, bool):
+        return Const(int(x))
+    if isinstance(x, (int, float)):
+        return Const(x)
+    raise ProgramError(f"cannot use {x!r} as an expression")
+
+
+@dataclass(frozen=True, eq=False)
+class Const(Expr):
+    value: object
+
+
+@dataclass(frozen=True, eq=False)
+class Name(Expr):
+    id: str
+
+
+@dataclass(frozen=True, eq=False)
+class BinOp(Expr):
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+    def __post_init__(self):
+        if self.op not in BINARY_OPS:
+            raise ProgramError(f"unknown binary operator {self.op!r}")
+
+
+@dataclass(frozen=True, eq=False)
+class UnOp(Expr):
+    op: str
+    operand: Expr
+
+    def __post_init__(self):
+        if self.op not in UNARY_OPS:
+            raise ProgramError(f"unknown unary operator {self.op!r}")
+
+
+@dataclass(frozen=True, eq=False)
+class Cond(Expr):
+    """Ternary select ``cond ? then : orelse`` (both sides evaluated)."""
+
+    cond: Expr
+    then: Expr
+    orelse: Expr
+
+
+@dataclass(frozen=True, eq=False)
+class LoadExpr(Expr):
+    """Read ``array[index]``."""
+
+    array: str
+    index: Expr
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Assign:
+    name: str
+    expr: Expr
+
+
+@dataclass
+class Store:
+    array: str
+    index: Expr
+    value: Expr
+
+
+@dataclass
+class If:
+    cond: Expr
+    then: Tuple["Stmt", ...]
+    orelse: Tuple["Stmt", ...] = ()
+
+    def __init__(self, cond: ExprLike, then: Sequence["Stmt"],
+                 orelse: Sequence["Stmt"] = ()):
+        self.cond = as_expr(cond)
+        self.then = tuple(then)
+        self.orelse = tuple(orelse)
+
+
+@dataclass
+class While:
+    """``while cond: body``.
+
+    ``parallel`` names arrays whose stores are iteration-independent
+    (no cross-iteration order token). ``tags`` overrides this loop's
+    local-tag-space size in TYR (paper Sec. VII-E / Fig. 18).
+    """
+
+    cond: Expr
+    body: Tuple["Stmt", ...]
+    parallel: Tuple[str, ...] = ()
+    tags: Optional[int] = None
+    label: Optional[str] = None
+
+    def __init__(self, cond: ExprLike, body: Sequence["Stmt"],
+                 parallel: Sequence[str] = (), tags: Optional[int] = None,
+                 label: Optional[str] = None):
+        self.cond = as_expr(cond)
+        self.body = tuple(body)
+        self.parallel = tuple(parallel)
+        self.tags = tags
+        self.label = label
+
+
+@dataclass
+class For:
+    """``for var in range(start, stop, step): body`` with positive step."""
+
+    var: str
+    start: Expr
+    stop: Expr
+    body: Tuple["Stmt", ...]
+    step: Expr = Const(1)
+    parallel: Tuple[str, ...] = ()
+    tags: Optional[int] = None
+    label: Optional[str] = None
+
+    def __init__(self, var: str, start: ExprLike, stop: ExprLike,
+                 body: Sequence["Stmt"], step: ExprLike = 1,
+                 parallel: Sequence[str] = (), tags: Optional[int] = None,
+                 label: Optional[str] = None):
+        self.var = var
+        self.start = as_expr(start)
+        self.stop = as_expr(stop)
+        self.body = tuple(body)
+        self.step = as_expr(step)
+        self.parallel = tuple(parallel)
+        self.tags = tags
+        self.label = label
+
+
+@dataclass
+class Call:
+    """``targets = fn(args)`` over the module's acyclic call graph."""
+
+    targets: Tuple[str, ...]
+    fn: str
+    args: Tuple[Expr, ...]
+
+    def __init__(self, targets: Sequence[str], fn: str,
+                 args: Sequence[ExprLike]):
+        self.targets = tuple(targets)
+        self.fn = fn
+        self.args = tuple(as_expr(a) for a in args)
+
+
+@dataclass
+class Return:
+    values: Tuple[Expr, ...]
+
+    def __init__(self, values: Sequence[ExprLike]):
+        self.values = tuple(as_expr(v) for v in values)
+
+
+Stmt = Union[Assign, Store, If, While, For, Call, Return]
+
+
+# ---------------------------------------------------------------------------
+# Top level
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Function:
+    name: str
+    params: Tuple[str, ...]
+    body: Tuple[Stmt, ...]
+    n_returns: int = 0
+
+    def __init__(self, name: str, params: Sequence[str],
+                 body: Sequence[Stmt]):
+        self.name = name
+        self.params = tuple(params)
+        self.body = tuple(body)
+        rets = [s for s in self.body if isinstance(s, Return)]
+        if len(rets) > 1 or (rets and not isinstance(self.body[-1], Return)):
+            raise ProgramError(
+                f"function {name!r}: a single Return is allowed, as the "
+                f"last statement"
+            )
+        self.n_returns = len(rets[0].values) if rets else 0
+
+
+@dataclass
+class ArraySpec:
+    name: str
+    length: Optional[int] = None
+    read_only: bool = False
+
+
+@dataclass
+class Module:
+    """A whole program: functions plus array declarations."""
+
+    functions: Tuple[Function, ...]
+    arrays: Tuple[ArraySpec, ...] = ()
+    entry: str = "main"
+
+    def __init__(self, functions: Sequence[Function],
+                 arrays: Sequence[ArraySpec] = (), entry: str = "main"):
+        self.functions = tuple(functions)
+        self.arrays = tuple(arrays)
+        self.entry = entry
+        names = [f.name for f in self.functions]
+        if len(set(names)) != len(names):
+            raise ProgramError("duplicate function names")
+        if entry not in names:
+            raise ProgramError(f"entry function {entry!r} not defined")
+
+    def function(self, name: str) -> Function:
+        for f in self.functions:
+            if f.name == name:
+                return f
+        raise ProgramError(f"no function named {name!r}")

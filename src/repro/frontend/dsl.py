@@ -1,0 +1,20 @@
+"""Tiny helpers for writing frontend programs concisely."""
+
+from __future__ import annotations
+
+from repro.frontend.ast import Const, ExprLike, LoadExpr, Name, as_expr
+
+
+def v(name: str) -> Name:
+    """A variable reference."""
+    return Name(name)
+
+
+def c(value) -> Const:
+    """A constant."""
+    return Const(value)
+
+
+def load(array: str, index: ExprLike) -> LoadExpr:
+    """Read ``array[index]``."""
+    return LoadExpr(array, as_expr(index))

@@ -1,0 +1,6 @@
+"""Experiment harness: runners, sweeps, aggregation, and one driver per
+paper figure/table (see DESIGN.md's experiment index)."""
+
+from repro.harness.runner import CompiledWorkload, MACHINES, run_program
+
+__all__ = ["CompiledWorkload", "MACHINES", "run_program"]

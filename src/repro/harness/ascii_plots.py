@@ -1,0 +1,163 @@
+"""Terminal renderings of the paper's figures.
+
+The harness regenerates every figure as text: line charts for
+state-over-time traces (Figs. 2, 9, 16, 18), bar charts for execution
+time and live state (Figs. 12, 14), CDFs for IPC (Fig. 13), and plain
+tables elsewhere. Log-scale axes mirror the paper's log-scale plots.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+_GLYPHS = "ox+*#@%&"
+
+
+def _log(value: float) -> float:
+    return math.log10(max(value, 1.0))
+
+
+def table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+          title: str = "") -> str:
+    """A plain text table with aligned columns."""
+    cells = [[str(h) for h in headers]]
+    cells += [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells)
+              for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def line_chart(series: Dict[str, Sequence[float]], width: int = 72,
+               height: int = 16, logy: bool = True,
+               title: str = "", ylabel: str = "",
+               xlabel: str = "") -> str:
+    """Overlayed line chart; each series is a y-sequence over time."""
+    series = {k: list(vs) for k, vs in series.items() if vs}
+    if not series:
+        return f"{title}\n(no data)"
+    transform = _log if logy else float
+    y_max = max(transform(v) for vs in series.values() for v in vs)
+    y_min = 0.0
+    span = max(y_max - y_min, 1e-9)
+    grid = [[" "] * width for _ in range(height)]
+    for si, (label, vs) in enumerate(series.items()):
+        glyph = _GLYPHS[si % len(_GLYPHS)]
+        n = len(vs)
+        for col in range(width):
+            idx = min(n - 1, int(col * n / width))
+            y = transform(vs[idx])
+            row = height - 1 - int((y - y_min) / span * (height - 1))
+            grid[row][col] = glyph
+    lines = []
+    if title:
+        lines.append(title)
+    scale = "log10 " if logy else ""
+    top = 10 ** y_max if logy else y_max
+    lines.append(f"{ylabel} ({scale}scale, max={top:.0f})")
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width + f"> {xlabel or 'time'}")
+    legend = "  ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]}={label}"
+        for i, label in enumerate(series)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(rows: Sequence[Tuple[str, float]], width: int = 50,
+              log: bool = False, title: str = "",
+              unit: str = "") -> str:
+    """Horizontal bars, optionally log-scaled (paper Fig. 12/14)."""
+    if not rows:
+        return f"{title}\n(no data)"
+    transform = _log if log else float
+    top = max(transform(value) for _, value in rows) or 1.0
+    label_w = max(len(label) for label, _ in rows)
+    lines = [title] if title else []
+    for label, value in rows:
+        n = int(transform(value) / top * width) if top else 0
+        lines.append(
+            f"{label.ljust(label_w)} |{'#' * n:<{width}} "
+            f"{_fmt(value)}{unit}"
+        )
+    if log:
+        lines.append(f"{'':{label_w}} (bar length is log10-scaled)")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(data: Dict[str, Dict[str, float]],
+                      group_order: Sequence[str],
+                      series_order: Sequence[str],
+                      width: int = 40, log: bool = True,
+                      title: str = "", unit: str = "") -> str:
+    """Groups (apps) of bars (machines), like the paper's Fig. 12."""
+    lines = [title] if title else []
+    flat = [val for per in data.values() for val in per.values()]
+    if not flat:
+        return f"{title}\n(no data)"
+    transform = _log if log else float
+    top = max(transform(value) for value in flat) or 1.0
+    label_w = max(len(s) for s in series_order)
+    for group in group_order:
+        lines.append(f"{group}:")
+        for s in series_order:
+            if s not in data.get(group, {}):
+                continue
+            value = data[group][s]
+            n = int(transform(value) / top * width)
+            lines.append(f"  {s.ljust(label_w)} |{'#' * n:<{width}} "
+                         f"{_fmt(value)}{unit}")
+    if log:
+        lines.append("(bar length is log10-scaled)")
+    return "\n".join(lines)
+
+
+def cdf_chart(series: Dict[str, Sequence[Tuple[float, float]]],
+              width: int = 72, height: int = 14,
+              title: str = "", xlabel: str = "IPC") -> str:
+    """CDF chart over (x, fraction) points (paper Fig. 13)."""
+    series = {k: list(v) for k, v in series.items() if v}
+    if not series:
+        return f"{title}\n(no data)"
+    x_max = max(x for pts in series.values() for x, _ in pts) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for si, (label, pts) in enumerate(series.items()):
+        glyph = _GLYPHS[si % len(_GLYPHS)]
+        for col in range(width):
+            x = col / (width - 1) * x_max
+            frac = 0.0
+            for px, pf in pts:
+                if px <= x:
+                    frac = pf
+                else:
+                    break
+            row = height - 1 - int(frac * (height - 1))
+            grid[row][col] = glyph
+    lines = [title] if title else []
+    lines.append("fraction of cycles with IPC <= x")
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width + f"> {xlabel} (max={x_max:.0f})")
+    lines.append("legend: " + "  ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]}={lab}"
+        for i, lab in enumerate(series)
+    ))
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Shared infrastructure for experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ReproError
+
+
+@dataclass
+class ExperimentReport:
+    """The outcome of regenerating one paper figure or table."""
+
+    name: str  # e.g. "fig12"
+    title: str  # what the paper shows
+    data: Dict[str, object]  # machine-readable results
+    text: str  # the regenerated figure/table as text
+    paper_expectation: str = ""  # the paper's claim, for EXPERIMENTS.md
+
+    def __str__(self) -> str:
+        header = f"== {self.name}: {self.title} =="
+        parts = [header, self.text]
+        if self.paper_expectation:
+            parts.append(f"[paper: {self.paper_expectation}]")
+        return "\n".join(parts)
+
+
+#: Registry: experiment name -> run() callable.
+EXPERIMENTS: Dict[str, Callable[..., ExperimentReport]] = {}
+
+
+def register(name: str):
+    def deco(fn: Callable[..., ExperimentReport]):
+        EXPERIMENTS[name] = fn
+        return fn
+    return deco
+
+
+def get_experiment(name: str) -> Callable[..., ExperimentReport]:
+    try:
+        return EXPERIMENTS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown experiment {name!r}; available: "
+            f"{', '.join(sorted(EXPERIMENTS))}"
+        ) from None

@@ -1,0 +1,80 @@
+"""Fig. 11: bounding a *global* tag space deadlocks on dmv.
+
+The obvious way to throttle a tagged machine -- cap the global tag
+pool -- deadlocks: eager exploration hands all tags to outer-loop
+work whose completion depends on inner-loop work that can no longer
+get a tag. TYR with the *same number of tags per block* completes.
+The number of global tags needed to finish grows with input size.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DeadlockError
+from repro.harness.ascii_plots import table
+from repro.harness.experiments.base import ExperimentReport, register
+from repro.harness.sweep import min_global_tags_to_complete
+from repro.workloads import build_workload
+
+
+@register("fig11")
+def run(scale: str = "small", workload: str = "dmv", total_tags: int = 8,
+        sizes=(8, 16, 32, 48), **kwargs) -> ExperimentReport:
+    wl = build_workload(workload, scale)
+    try:
+        res, _ = wl.run("unordered-bounded", total_tags=total_tags)
+        deadlocked = not res.completed
+        diagnosis_text = "completed unexpectedly"
+        pending = 0
+    except DeadlockError as err:
+        deadlocked = True
+        diagnosis_text = str(err)
+        pending = len(err.diagnosis.pending_allocations)
+
+    # TYR with the same per-block budget completes.
+    tyr = wl.run_checked("tyr", tags=total_tags)
+
+    # How many global tags dmv needs as input size grows.
+    growth_rows = []
+    for n in sizes:
+        small = build_workload(workload, "tiny", n=n)
+        outcome = min_global_tags_to_complete(
+            small, [4, 8, 16, 24, 32, 48, 64, 96, 128, 256, 512]
+        )
+        needed = next((t for t, ok in sorted(outcome.items()) if ok),
+                      None)
+        growth_rows.append([n, needed if needed else ">512"])
+
+    text = "\n".join([
+        f"unordered dataflow, global pool of {total_tags} tags on "
+        f"{workload} ({scale}):",
+        f"  -> {'DEADLOCK' if deadlocked else 'completed'} "
+        f"({pending} allocations pending)",
+        diagnosis_text,
+        "",
+        f"TYR, {total_tags} tags per *local* tag space on the same "
+        f"program:",
+        f"  -> completed in {tyr.cycles} cycles "
+        f"(peak live {tyr.peak_live})",
+        "",
+        table(["input size n", "min global tags to complete"],
+              growth_rows,
+              title="Global tags needed grow with input size "
+                    "(paper: 'grows quickly with input size')"),
+    ])
+    data = {
+        "deadlocked": deadlocked,
+        "pending_allocations": pending,
+        "tyr_completed": tyr.completed,
+        "min_tags_by_size": {r[0]: r[1] for r in growth_rows},
+    }
+    return ExperimentReport(
+        name="fig11",
+        title="Deadlock under a bounded global tag space "
+              "(paper Fig. 11)",
+        data=data,
+        text=text,
+        paper_expectation=(
+            "global 8-tag pool deadlocks on dmv; tags needed grow with "
+            "input size; TYR never deadlocks with >= 2 tags per block"
+        ),
+    )

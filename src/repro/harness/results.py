@@ -1,0 +1,89 @@
+"""Aggregation helpers for experiment reporting (paper Sec. VI metrics).
+
+Execution time and IPC measure parallelism; peak/mean live tokens
+measure state. Cross-benchmark summaries use the geometric mean, as in
+the paper's Fig. 12/14 headline numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.sim.metrics import ExecutionResult
+
+
+def gmean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values."""
+    vals = [float(value) for value in values]
+    if not vals:
+        return 0.0
+    if any(value <= 0 for value in vals):
+        raise ValueError("gmean requires positive values")
+    return math.exp(sum(math.log(value) for value in vals) / len(vals))
+
+
+def speedup_vs(results: Dict[str, Dict[str, ExecutionResult]],
+               reference: str = "tyr") -> Dict[str, float]:
+    """Per-machine gmean speedup of ``reference`` (cycles ratio).
+
+    ``results[app][machine]`` -> ExecutionResult. Returns
+    machine -> gmean over apps of ``cycles(machine) /
+    cycles(reference)`` (>1 means the reference is faster, matching the
+    paper's "TYR is 68x faster vs. vN" phrasing).
+    """
+    machines = {m for per_app in results.values() for m in per_app}
+    out: Dict[str, float] = {}
+    for machine in sorted(machines):
+        ratios = []
+        for app, per_app in results.items():
+            if machine in per_app and reference in per_app:
+                ratios.append(per_app[machine].cycles
+                              / per_app[reference].cycles)
+        if ratios:
+            out[machine] = gmean(ratios)
+    return out
+
+
+def state_reduction_vs(results: Dict[str, Dict[str, ExecutionResult]],
+                       reference: str = "tyr") -> Dict[str, float]:
+    """Per-machine gmean ratio ``peak_live(machine) /
+    peak_live(reference)`` (paper Fig. 14's 572.8x style numbers)."""
+    machines = {m for per_app in results.values() for m in per_app}
+    out: Dict[str, float] = {}
+    for machine in sorted(machines):
+        ratios = []
+        for per_app in results.values():
+            if machine in per_app and reference in per_app:
+                a = max(per_app[machine].peak_live, 1)
+                b = max(per_app[reference].peak_live, 1)
+                ratios.append(a / b)
+        if ratios:
+            out[machine] = gmean(ratios)
+    return out
+
+
+def ipc_cdf(trace: Sequence[int]) -> List[Tuple[float, float]]:
+    """(ipc, fraction of cycles with IPC <= ipc) points of a CDF."""
+    if not trace:
+        return []
+    values = sorted(trace)
+    n = len(values)
+    points: List[Tuple[float, float]] = []
+    for i, value in enumerate(values):
+        if i == n - 1 or values[i + 1] != value:
+            points.append((float(value), (i + 1) / n))
+    return points
+
+
+def downsample(trace: Sequence[float], n_points: int = 100) -> List[float]:
+    """Bucket-max downsampling for long traces (keeps peaks visible)."""
+    if len(trace) <= n_points:
+        return list(trace)
+    out = []
+    step = len(trace) / n_points
+    for i in range(n_points):
+        lo = int(i * step)
+        hi = max(lo + 1, int((i + 1) * step))
+        out.append(max(trace[lo:hi]))
+    return out

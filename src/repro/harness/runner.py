@@ -1,0 +1,187 @@
+"""Uniform runner across all machine models (paper Sec. VI).
+
+``run_program`` executes one context program on one machine and
+returns an :class:`ExecutionResult`. :class:`CompiledWorkload` caches
+the per-machine compiled artifacts (elaborated tagged graph, flat
+graph) so sweeps do not recompile.
+
+Machine names:
+
+========================  ==================================================
+``vn``                    sequential von Neumann (window 1, width 1)
+``seqdf``                 sequential dataflow (WaveScalar/TRIPS-style)
+``ordered``               ordered dataflow (FIFO queues, RipTide-style)
+``unordered``             unordered dataflow, unbounded global tags
+``unordered-bounded``     unordered dataflow, bounded global tags (deadlocks)
+``tyr``                   TYR local tag spaces
+``kbounded``              TTDA-style greedy per-block k-bounding
+``datapar``               data-parallel (vector/GPU-style) machine
+========================  ==================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.compiler.elaborate import elaborate
+from repro.compiler.flatten import flatten
+from repro.ir.program import ContextProgram
+from repro.sim.memory import Memory
+from repro.sim.metrics import ExecutionResult
+from repro.sim.queued import QueuedEngine
+from repro.sim.tagged import (
+    BoundedGlobalPolicy,
+    KBoundedPolicy,
+    TaggedEngine,
+    TyrPolicy,
+    UnboundedGlobalPolicy,
+)
+from repro.sim.vector import DataParallelEngine
+from repro.sim.window import WindowEngine
+
+MACHINES = (
+    "vn",
+    "ooo",
+    "seqdf",
+    "ordered",
+    "unordered",
+    "unordered-bounded",
+    "tyr",
+    "kbounded",
+    "datapar",
+)
+
+#: The five systems the paper's main evaluation compares (Sec. VI).
+PAPER_SYSTEMS = ("vn", "seqdf", "ordered", "unordered", "tyr")
+
+_TAGGED_MACHINES = ("unordered", "unordered-bounded", "tyr", "kbounded")
+
+
+class CompiledWorkload:
+    """A context program plus lazily compiled machine artifacts.
+
+    ``optimize=True`` runs the :mod:`repro.compiler.passes` pipeline
+    (copy/select folding, algebraic simplification, dead-op
+    elimination) before any machine lowering.
+    """
+
+    def __init__(self, program: ContextProgram, optimize: bool = False):
+        if optimize:
+            from repro.compiler.passes import optimize_program
+            optimize_program(program)
+        self.program = program
+        self._tagged = None
+        self._flat = None
+
+    @property
+    def tagged(self):
+        if self._tagged is None:
+            self._tagged = elaborate(self.program)
+        return self._tagged
+
+    @property
+    def flat(self):
+        if self._flat is None:
+            self._flat = flatten(self.program)
+        return self._flat
+
+    def entry_args(self, args: Sequence[object]) -> List[object]:
+        """Pad user arguments with zeros for hidden order-token params."""
+        full = list(args)
+        n = self.program.entry_block().n_params
+        if len(full) > n:
+            raise SimulationError(
+                f"entry takes {n} args, got {len(full)}"
+            )
+        full += [0] * (n - len(full))
+        return full
+
+    def declared_results(self, results: Sequence[object]):
+        n = self.program.meta.get("entry_declared_results",
+                                  len(results))
+        return tuple(results[:n])
+
+    # ------------------------------------------------------------------
+    def run(self, machine: str, memory: Memory, args: Sequence[object],
+            *, issue_width: int = 128, tags: int = 64,
+            queue_depth: int = 4, window: int = 8,
+            total_tags: int = 64,
+            tag_overrides: Optional[Dict[str, int]] = None,
+            sample_traces: bool = True,
+            check_token_bound: bool = False,
+            track_occupancy: bool = False,
+            load_latency: int = 1,
+            max_cycles: int = 50_000_000) -> ExecutionResult:
+        """Run this workload on ``machine`` and return its metrics.
+
+        The returned result's declared program outputs are in
+        ``result.extra["declared_results"]``.
+        """
+        full_args = self.entry_args(args)
+        if machine in _TAGGED_MACHINES:
+            if machine == "unordered":
+                policy = UnboundedGlobalPolicy()
+            elif machine == "unordered-bounded":
+                policy = BoundedGlobalPolicy(total_tags)
+            elif machine == "tyr":
+                policy = TyrPolicy(tags, overrides=tag_overrides)
+            else:
+                policy = KBoundedPolicy(tags)
+            engine = TaggedEngine(
+                self.tagged, memory, policy, issue_width=issue_width,
+                sample_traces=sample_traces,
+                check_token_bound=check_token_bound,
+                track_occupancy=track_occupancy,
+                load_latency=load_latency,
+                max_cycles=max_cycles,
+            )
+        elif machine == "ordered":
+            engine = QueuedEngine(
+                self.flat, memory, queue_depth=queue_depth,
+                issue_width=issue_width, sample_traces=sample_traces,
+                load_latency=load_latency, max_cycles=max_cycles,
+            )
+        elif machine == "vn":
+            engine = WindowEngine(
+                self.program, memory, window=1, issue_width=1,
+                sample_traces=sample_traces, load_latency=load_latency,
+                max_cycles=max_cycles, machine_name="vn",
+            )
+        elif machine == "ooo":
+            # Out-of-order superscalar approximation (paper Fig. 5b):
+            # a small reorder window over the vN order, modeled at
+            # block-slice granularity (a slice is a handful of
+            # instructions, so 2 slices ~ a small instruction window).
+            engine = WindowEngine(
+                self.program, memory, window=2, issue_width=4,
+                sample_traces=sample_traces, load_latency=load_latency,
+                max_cycles=max_cycles, machine_name="ooo",
+            )
+        elif machine == "seqdf":
+            engine = WindowEngine(
+                self.program, memory, window=window,
+                issue_width=issue_width, sample_traces=sample_traces,
+                load_latency=load_latency, max_cycles=max_cycles,
+                machine_name="seqdf",
+            )
+        elif machine == "datapar":
+            engine = DataParallelEngine(
+                self.program, memory, lanes=issue_width,
+                sample_traces=sample_traces, load_latency=load_latency,
+                max_cycles=max_cycles,
+            )
+        else:
+            raise SimulationError(f"unknown machine {machine!r}")
+        result = engine.run(full_args)
+        result.machine = machine
+        result.extra["declared_results"] = self.declared_results(
+            result.results
+        )
+        return result
+
+
+def run_program(program: ContextProgram, machine: str, memory: Memory,
+                args: Sequence[object], **kwargs) -> ExecutionResult:
+    """One-shot convenience wrapper around :class:`CompiledWorkload`."""
+    return CompiledWorkload(program).run(machine, memory, args, **kwargs)

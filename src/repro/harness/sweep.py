@@ -1,0 +1,84 @@
+"""Parameter sweeps over workloads and machine configurations.
+
+Used by the issue-width (Fig. 15), tag-count (Figs. 9/16), and
+width-x-tags (Fig. 17) experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import DeadlockError
+from repro.sim.metrics import ExecutionResult
+from repro.workloads.registry import WorkloadInstance
+
+
+def run_machines(workload: WorkloadInstance,
+                 machines: Sequence[str],
+                 check: bool = True,
+                 **kwargs) -> Dict[str, ExecutionResult]:
+    """Run a workload on several machines (verified against the oracle
+    unless ``check=False``)."""
+    out: Dict[str, ExecutionResult] = {}
+    for machine in machines:
+        if check:
+            out[machine] = workload.run_checked(machine, **kwargs)
+        else:
+            out[machine], _ = workload.run(machine, **kwargs)
+    return out
+
+
+def sweep_tags(workload: WorkloadInstance,
+               tag_counts: Sequence[int],
+               machine: str = "tyr",
+               **kwargs) -> Dict[int, ExecutionResult]:
+    """TYR across local-tag-space sizes (paper Figs. 9/16)."""
+    out: Dict[int, ExecutionResult] = {}
+    for tags in tag_counts:
+        out[tags] = workload.run_checked(machine, tags=tags, **kwargs)
+    return out
+
+
+def sweep_issue_width(workload: WorkloadInstance,
+                      widths: Sequence[int],
+                      machines: Sequence[str],
+                      **kwargs) -> Dict[str, Dict[int, ExecutionResult]]:
+    """Machines across issue widths (paper Fig. 15)."""
+    out: Dict[str, Dict[int, ExecutionResult]] = {}
+    for machine in machines:
+        out[machine] = {}
+        for width in widths:
+            out[machine][width] = workload.run_checked(
+                machine, issue_width=width, **kwargs
+            )
+    return out
+
+
+def sweep_width_x_tags(workload: WorkloadInstance,
+                       widths: Sequence[int],
+                       tag_counts: Sequence[int],
+                       **kwargs
+                       ) -> Dict[Tuple[int, int], ExecutionResult]:
+    """TYR over the (issue width, tags) grid (paper Fig. 17)."""
+    out: Dict[Tuple[int, int], ExecutionResult] = {}
+    for width in widths:
+        for tags in tag_counts:
+            out[(width, tags)] = workload.run_checked(
+                "tyr", issue_width=width, tags=tags, **kwargs
+            )
+    return out
+
+
+def min_global_tags_to_complete(workload: WorkloadInstance,
+                                candidates: Sequence[int]
+                                ) -> Dict[int, bool]:
+    """Which bounded *global* tag-pool sizes complete vs deadlock
+    (paper Fig. 11's 'grows quickly with input size')."""
+    out: Dict[int, bool] = {}
+    for total in candidates:
+        try:
+            res, _ = workload.run("unordered-bounded", total_tags=total)
+            out[total] = res.completed
+        except DeadlockError:
+            out[total] = False
+    return out

@@ -1,0 +1,45 @@
+"""Dataflow intermediate representation (the paper's "UDIR" analog).
+
+The IR represents a program as a set of *concurrent blocks* (paper
+Sec. III): DAGs of instructions connected by transfer points at loop and
+function boundaries. All machine models in :mod:`repro.sim` execute
+programs expressed in this IR, after the lowerings in
+:mod:`repro.compiler`.
+"""
+
+from repro.ir.ops import Op, OpInfo, OP_INFO, op_info
+from repro.ir.program import (
+    BlockDef,
+    BlockKind,
+    ContextProgram,
+    Lit,
+    OpDef,
+    Param,
+    Region,
+    Res,
+    ValueRef,
+)
+from repro.ir.builder import BlockBuilder, ProgramBuilder
+from repro.ir.validate import validate_program
+from repro.ir.interp import ReferenceInterpreter, InterpResult
+
+__all__ = [
+    "Op",
+    "OpInfo",
+    "OP_INFO",
+    "op_info",
+    "BlockDef",
+    "BlockKind",
+    "ContextProgram",
+    "Lit",
+    "OpDef",
+    "Param",
+    "Region",
+    "Res",
+    "ValueRef",
+    "BlockBuilder",
+    "ProgramBuilder",
+    "validate_program",
+    "ReferenceInterpreter",
+    "InterpResult",
+]

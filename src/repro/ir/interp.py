@@ -1,0 +1,192 @@
+"""Sequential reference interpreter (golden model).
+
+Executes a :class:`ContextProgram` with ordinary depth-first semantics:
+one context at a time, loops iterated in order. Every machine model in
+:mod:`repro.sim` must produce the same final memory contents and return
+values as this interpreter; the test suite enforces that for every
+workload and for randomly generated programs.
+
+The interpreter also reports dynamic-instruction and dynamic-context
+counts, which the harness uses for sanity checks and for Table II style
+reporting.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, MutableMapping, Optional, Sequence, Tuple
+
+from repro.errors import MemoryError_, SimulationError
+from repro.ir.ops import OP_INFO, Op
+from repro.ir.program import (
+    BlockDef,
+    BlockKind,
+    ContextProgram,
+    IfRegion,
+    Lit,
+    LoopTerm,
+    OpDef,
+    Param,
+    Region,
+    Res,
+    ReturnTerm,
+    ValueRef,
+)
+
+
+@dataclass
+class InterpResult:
+    """Outcome of a reference execution."""
+
+    results: Tuple[object, ...]
+    dynamic_ops: int
+    dynamic_contexts: Counter = field(default_factory=Counter)
+    #: Dynamic op count per opcode (useful-work breakdown).
+    op_counts: Counter = field(default_factory=Counter)
+
+
+class ReferenceInterpreter:
+    """Depth-first sequential evaluator for context programs."""
+
+    def __init__(self, program: ContextProgram,
+                 memory: MutableMapping[str, list],
+                 max_steps: int = 200_000_000):
+        self.program = program
+        self.memory = memory
+        self.max_steps = max_steps
+        self._steps = 0
+        self._contexts: Counter = Counter()
+        self._op_counts: Counter = Counter()
+
+    def run(self, args: Sequence[object] = ()) -> InterpResult:
+        results = self._exec_block(self.program.entry_block(), tuple(args))
+        return InterpResult(
+            results=results,
+            dynamic_ops=self._steps,
+            dynamic_contexts=self._contexts,
+            op_counts=self._op_counts,
+        )
+
+    # ------------------------------------------------------------------
+    def _exec_block(self, block: BlockDef,
+                    args: Tuple[object, ...]) -> Tuple[object, ...]:
+        if len(args) != block.n_params:
+            raise SimulationError(
+                f"block {block.name!r} takes {block.n_params} args, "
+                f"got {len(args)}"
+            )
+        while True:
+            self._contexts[block.name] += 1
+            env: Dict[Tuple[int, int], object] = {}
+            self._exec_region(block, block.region, args, env)
+            term = block.terminator
+            if isinstance(term, ReturnTerm):
+                return tuple(
+                    self._read(block, args, env, r) for r in term.results
+                )
+            assert isinstance(term, LoopTerm)
+            if self._read(block, args, env, term.decider):
+                args = tuple(
+                    self._read(block, args, env, r) for r in term.next_args
+                )
+                continue
+            return tuple(
+                self._read(block, args, env, r) for r in term.results
+            )
+
+    def _exec_region(self, block: BlockDef, region: Region,
+                     args: Tuple[object, ...],
+                     env: Dict[Tuple[int, int], object]) -> None:
+        for item in region.items:
+            if isinstance(item, IfRegion):
+                taken = self._read(block, args, env, item.decider)
+                side = item.then_region if taken else item.else_region
+                self._exec_region(block, side, args, env)
+            else:
+                self._exec_op(block, block.ops[item], args, env)
+
+    def _exec_op(self, block: BlockDef, op: OpDef, args: Tuple[object, ...],
+                 env: Dict[Tuple[int, int], object]) -> None:
+        self._steps += 1
+        self._op_counts[op.op] += 1
+        if self._steps > self.max_steps:
+            raise SimulationError(
+                f"reference interpreter exceeded {self.max_steps} steps"
+            )
+        read = lambda ref: self._read(block, args, env, ref)  # noqa: E731
+        info = OP_INFO[op.op]
+        if info.pure:
+            env[(op.op_id, 0)] = info.evaluate(
+                *(read(r) for r in op.inputs)
+            )
+        elif op.op is Op.LOAD:
+            idx = read(op.inputs[0])
+            if op.attrs.get("has_order_in"):
+                read(op.inputs[1])
+            env[(op.op_id, 0)] = self._mem_read(block, op, idx)
+            env[(op.op_id, 1)] = 0
+        elif op.op is Op.STORE:
+            idx = read(op.inputs[0])
+            value = read(op.inputs[1])
+            if op.attrs.get("has_order_in"):
+                read(op.inputs[2])
+            self._mem_write(block, op, idx, value)
+            env[(op.op_id, 0)] = 0
+        elif op.op is Op.STEER:
+            # The sequential interpreter records the value
+            # unconditionally; region walking already skips untaken
+            # consumers, and merges choose by decider.
+            env[(op.op_id, 0)] = read(op.inputs[1])
+            env[(op.op_id, 1)] = 0
+        elif op.op is Op.MERGE:
+            taken = read(op.inputs[0])
+            env[(op.op_id, 0)] = read(op.inputs[1] if taken else op.inputs[2])
+        elif op.op is Op.SPAWN:
+            callee = self.program.block(op.attrs["callee"])
+            results = self._exec_block(
+                callee, tuple(read(r) for r in op.inputs)
+            )
+            for port, value in enumerate(results):
+                env[(op.op_id, port)] = value
+        else:
+            raise SimulationError(
+                f"op {op.op.value} not executable in the context IR"
+            )
+
+    def _read(self, block: BlockDef, args: Tuple[object, ...],
+              env: Dict[Tuple[int, int], object], ref: ValueRef) -> object:
+        if isinstance(ref, Lit):
+            return ref.value
+        if isinstance(ref, Param):
+            return args[ref.index]
+        key = (ref.op_id, ref.port)
+        if key not in env:
+            raise SimulationError(
+                f"{block.name}: read of unevaluated value {ref} "
+                f"(untaken branch?)"
+            )
+        return env[key]
+
+    def _mem_read(self, block: BlockDef, op: OpDef, idx: object) -> object:
+        array = self.memory.get(op.attrs["array"])
+        if array is None:
+            raise MemoryError_(f"array {op.attrs['array']!r} not bound")
+        if not isinstance(idx, int) or not 0 <= idx < len(array):
+            raise MemoryError_(
+                f"{block.name}/%{op.op_id}: load index {idx!r} out of "
+                f"bounds for {op.attrs['array']!r} (len {len(array)})"
+            )
+        return array[idx]
+
+    def _mem_write(self, block: BlockDef, op: OpDef, idx: object,
+                   value: object) -> None:
+        array = self.memory.get(op.attrs["array"])
+        if array is None:
+            raise MemoryError_(f"array {op.attrs['array']!r} not bound")
+        if not isinstance(idx, int) or not 0 <= idx < len(array):
+            raise MemoryError_(
+                f"{block.name}/%{op.op_id}: store index {idx!r} out of "
+                f"bounds for {op.attrs['array']!r} (len {len(array)})"
+            )
+        array[idx] = value

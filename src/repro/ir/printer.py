@@ -1,0 +1,135 @@
+"""Human-readable dumps of context programs (text and Graphviz dot).
+
+These renderings are what the paper's Fig. 3/6/7 show: the dataflow
+graph of a program, with concurrent blocks and transfer points made
+explicit.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.ops import Op
+from repro.ir.program import (
+    BlockDef,
+    ContextProgram,
+    IfRegion,
+    Lit,
+    LoopTerm,
+    OpDef,
+    Param,
+    Region,
+    Res,
+    ReturnTerm,
+)
+
+
+def format_program(program: ContextProgram) -> str:
+    """Render a whole program as indented text."""
+    lines: List[str] = [f"program (entry: {program.entry})"]
+    for decl in program.arrays.values():
+        ro = " read-only" if decl.read_only else ""
+        size = f"[{decl.length}]" if decl.length is not None else "[]"
+        lines.append(f"  array {decl.name}{size}{ro}")
+    for name in sorted(program.blocks):
+        lines.append(format_block(program.blocks[name], indent="  "))
+    return "\n".join(lines)
+
+
+def format_block(block: BlockDef, indent: str = "") -> str:
+    params = ", ".join(
+        f"%p{i}:{n}" for i, n in enumerate(block.param_names)
+    )
+    tag_note = (
+        f" tags={block.tag_override}" if block.tag_override is not None else ""
+    )
+    lines = [f"{indent}{block.kind.value} {block.name}({params}){tag_note}:"]
+    _format_region(block, block.region, indent + "  ", lines)
+    term = block.terminator
+    if isinstance(term, ReturnTerm):
+        rets = ", ".join(repr(r) for r in term.results)
+        lines.append(f"{indent}  return {rets}")
+    elif isinstance(term, LoopTerm):
+        nxt = ", ".join(repr(r) for r in term.next_args)
+        rets = ", ".join(repr(r) for r in term.results)
+        lines.append(
+            f"{indent}  loop-if {term.decider!r} next({nxt}) else "
+            f"return({rets})"
+        )
+    return "\n".join(lines)
+
+
+def _format_region(block: BlockDef, region: Region, indent: str,
+                   lines: List[str]) -> None:
+    for item in region.items:
+        if isinstance(item, IfRegion):
+            lines.append(f"{indent}if {item.decider!r}:")
+            _format_region(block, item.then_region, indent + "  ", lines)
+            lines.append(f"{indent}else:")
+            _format_region(block, item.else_region, indent + "  ", lines)
+        else:
+            lines.append(f"{indent}{_format_op(block.ops[item])}")
+
+
+def _format_op(op: OpDef) -> str:
+    ins = ", ".join(repr(i) for i in op.inputs)
+    attrs = ""
+    if op.op in (Op.LOAD, Op.STORE):
+        attrs = f" @{op.attrs['array']}"
+    elif op.op is Op.STEER:
+        attrs = " T" if op.attrs.get("sense") else " F"
+    elif op.op is Op.SPAWN:
+        attrs = f" ->{op.attrs['callee']}"
+    outs = (
+        repr(Res(op.op_id, 0))
+        if op.n_outputs == 1
+        else "(" + ", ".join(
+            repr(Res(op.op_id, p)) for p in range(op.n_outputs)
+        ) + ")"
+    )
+    return f"{outs} = {op.op.value}{attrs}({ins})"
+
+
+def to_dot(program: ContextProgram) -> str:
+    """Render the program as a Graphviz digraph with one cluster per
+    concurrent block (paper Fig. 6b's structured DFG)."""
+    lines = ["digraph program {", "  rankdir=TB;", "  node [shape=ellipse];"]
+    for bi, name in enumerate(sorted(program.blocks)):
+        block = program.blocks[name]
+        lines.append(f"  subgraph cluster_{bi} {{")
+        lines.append(f'    label="{name} ({block.kind.value})";')
+        for i in range(block.n_params):
+            lines.append(
+                f'    "{name}.p{i}" [shape=invtriangle,'
+                f'label="{block.param_names[i]}"];'
+            )
+        for op in block.ops:
+            shape = "triangle" if op.op in (Op.STEER, Op.MERGE) else "ellipse"
+            label = op.op.value
+            if op.op in (Op.LOAD, Op.STORE):
+                label += f" {op.attrs['array']}"
+            if op.op is Op.SPAWN:
+                shape = "box"
+                label = f"spawn {op.attrs['callee']}"
+            lines.append(
+                f'    "{name}.{op.op_id}" [shape={shape},label="{label}"];'
+            )
+        lines.append("  }")
+        for op in block.ops:
+            for ref in op.inputs:
+                if isinstance(ref, Res):
+                    lines.append(
+                        f'  "{name}.{ref.op_id}" -> "{name}.{op.op_id}";'
+                    )
+                elif isinstance(ref, Param):
+                    lines.append(
+                        f'  "{name}.p{ref.index}" -> "{name}.{op.op_id}";'
+                    )
+            if op.op is Op.SPAWN:
+                callee = op.attrs["callee"]
+                lines.append(
+                    f'  "{name}.{op.op_id}" -> "{callee}.p0" '
+                    f"[style=dashed,color=gray];"
+                )
+    lines.append("}")
+    return "\n".join(lines)

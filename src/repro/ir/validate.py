@@ -1,0 +1,238 @@
+"""Structural validation of context programs.
+
+Beyond shape checks (SSA dominance, arities, region partition), the key
+semantic check is **guard equivalence**: in a tagged dataflow machine a
+token is produced under some control condition and must be consumed
+under *exactly* the same condition, otherwise an untaken branch either
+leaks a token (permanent live state, and the block's free barrier never
+fires) or starves a consumer (deadlock). We compute, for every
+(producer port, consumer) edge, the *guard sequence* -- the chain of
+``(decider, sense)`` pairs under which the token exists / is awaited --
+and require them to match.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import IRError
+from repro.ir.ops import CONTEXT_IR_OPS, Op
+from repro.ir.program import (
+    BlockDef,
+    BlockKind,
+    ContextProgram,
+    IfRegion,
+    Lit,
+    LoopTerm,
+    OpDef,
+    Param,
+    Region,
+    Res,
+    ReturnTerm,
+    ValueRef,
+)
+
+Guard = Tuple[Tuple[ValueRef, bool], ...]
+
+
+def validate_program(program: ContextProgram) -> None:
+    """Raise :class:`IRError` if ``program`` is not well formed."""
+    if program.entry not in program.blocks:
+        raise IRError(f"entry block {program.entry!r} missing")
+    program.topo_order()  # raises on call-graph cycles
+    for block in program.blocks.values():
+        _validate_block(program, block)
+    _validate_arrays(program)
+
+
+def _validate_arrays(program: ContextProgram) -> None:
+    for block in program.blocks.values():
+        for op in block.ops:
+            if op.op in (Op.LOAD, Op.STORE):
+                array = op.attrs.get("array")
+                if array not in program.arrays:
+                    raise IRError(
+                        f"{block.name}/%{op.op_id}: array {array!r} "
+                        f"not declared"
+                    )
+                if op.op is Op.STORE and program.arrays[array].read_only:
+                    raise IRError(
+                        f"{block.name}/%{op.op_id}: store to read-only "
+                        f"array {array!r}"
+                    )
+
+
+def _validate_block(program: ContextProgram, block: BlockDef) -> None:
+    _check_ops(program, block)
+    guards = _check_regions(block)
+    _check_guard_equivalence(block, guards)
+    _check_terminator(block, guards)
+
+
+def _check_ops(program: ContextProgram, block: BlockDef) -> None:
+    for i, op in enumerate(block.ops):
+        if op.op_id != i:
+            raise IRError(f"{block.name}: op ids not dense at %{i}")
+        if op.op not in CONTEXT_IR_OPS:
+            raise IRError(
+                f"{block.name}/%{i}: {op.op.value} is not a context-IR op"
+            )
+        for ref in op.inputs:
+            _check_ref(block, op, ref)
+        if op.op is Op.SPAWN:
+            callee_name = op.attrs.get("callee")
+            callee = program.blocks.get(callee_name)
+            if callee is None:
+                raise IRError(
+                    f"{block.name}/%{i}: spawn of unknown block "
+                    f"{callee_name!r}"
+                )
+            if len(op.inputs) != callee.n_params:
+                raise IRError(
+                    f"{block.name}/%{i}: spawn passes {len(op.inputs)} args "
+                    f"but {callee_name!r} takes {callee.n_params}"
+                )
+            if op.n_outputs != callee.n_results:
+                raise IRError(
+                    f"{block.name}/%{i}: spawn expects {op.n_outputs} "
+                    f"results but {callee_name!r} returns {callee.n_results}"
+                )
+        if all(isinstance(r, Lit) for r in op.inputs):
+            raise IRError(
+                f"{block.name}/%{i}: {op.op.value} has no token inputs; "
+                f"it could never fire (fold constants or materialize a "
+                f"trigger token instead)"
+            )
+
+
+def _check_ref(block: BlockDef, op: OpDef, ref: ValueRef) -> None:
+    if isinstance(ref, Lit):
+        return
+    if isinstance(ref, Param):
+        if not 0 <= ref.index < block.n_params:
+            raise IRError(
+                f"{block.name}/%{op.op_id}: bad param index {ref.index}"
+            )
+        return
+    if isinstance(ref, Res):
+        if not 0 <= ref.op_id < len(block.ops):
+            raise IRError(
+                f"{block.name}/%{op.op_id}: bad op reference {ref}"
+            )
+        if ref.op_id >= op.op_id:
+            raise IRError(
+                f"{block.name}/%{op.op_id}: forward/self reference {ref} "
+                f"(blocks must be DAGs)"
+            )
+        producer = block.ops[ref.op_id]
+        if not 0 <= ref.port < producer.n_outputs:
+            raise IRError(
+                f"{block.name}/%{op.op_id}: bad port in {ref}"
+            )
+        return
+    raise IRError(f"{block.name}/%{op.op_id}: bad operand {ref!r}")
+
+
+def _check_regions(block: BlockDef) -> Dict[int, Guard]:
+    """Check region-tree partition; return op id -> guard sequence."""
+    seen: Dict[int, Guard] = {}
+
+    def walk(region: Region, guard: Guard) -> None:
+        for item in region.items:
+            if isinstance(item, IfRegion):
+                walk(item.then_region, guard + ((item.decider, True),))
+                walk(item.else_region, guard + ((item.decider, False),))
+            else:
+                if item in seen:
+                    raise IRError(
+                        f"{block.name}: op %{item} appears in two regions"
+                    )
+                if not 0 <= item < len(block.ops):
+                    raise IRError(f"{block.name}: region lists bad op {item}")
+                seen[item] = guard
+
+    walk(block.region, ())
+    missing = set(range(len(block.ops))) - set(seen)
+    if missing:
+        raise IRError(
+            f"{block.name}: ops missing from region tree: {sorted(missing)}"
+        )
+    return seen
+
+
+def _produce_guard(block: BlockDef, guards: Dict[int, Guard],
+                   ref: Res) -> Guard:
+    """Guard under which a token appears on ``ref``."""
+    producer = block.ops[ref.op_id]
+    guard = guards[ref.op_id]
+    if producer.op is Op.STEER and ref.port == 0:
+        sense = bool(producer.attrs["sense"])
+        return guard + ((producer.inputs[0], sense),)
+    return guard
+
+
+def _consume_guards(block: BlockDef, guards: Dict[int, Guard],
+                    op: OpDef) -> List[Guard]:
+    """Guard under which each input of ``op`` is awaited."""
+    guard = guards[op.op_id]
+    if op.op is Op.MERGE:
+        decider = op.inputs[0]
+        return [guard, guard + ((decider, True),), guard + ((decider, False),)]
+    return [guard] * len(op.inputs)
+
+
+def _check_guard_equivalence(block: BlockDef,
+                             guards: Dict[int, Guard]) -> None:
+    for op in block.ops:
+        consume = _consume_guards(block, guards, op)
+        for ref, want in zip(op.inputs, consume):
+            if not isinstance(ref, Res):
+                # Params are unconditional; consuming a param inside a
+                # region would leak it when untaken.
+                if isinstance(ref, Param) and want != ():
+                    raise IRError(
+                        f"{block.name}/%{op.op_id}: param {ref} consumed "
+                        f"under guard {want}; steer it into the region"
+                    )
+                continue
+            have = _produce_guard(block, guards, ref)
+            if have != want:
+                raise IRError(
+                    f"{block.name}/%{op.op_id}: token {ref} produced under "
+                    f"guard {have} but consumed under {want} "
+                    f"(token leak or starvation)"
+                )
+
+
+def _terminator_refs(block: BlockDef) -> List[ValueRef]:
+    term = block.terminator
+    if term is None:
+        raise IRError(f"{block.name}: missing terminator")
+    if isinstance(term, ReturnTerm):
+        if block.kind is not BlockKind.DAG:
+            raise IRError(f"{block.name}: return terminator on a loop block")
+        return list(term.results)
+    if isinstance(term, LoopTerm):
+        if block.kind is not BlockKind.LOOP:
+            raise IRError(f"{block.name}: loop terminator on a DAG block")
+        if len(term.next_args) != block.n_params:
+            raise IRError(
+                f"{block.name}: loop carries {block.n_params} params but "
+                f"terminator has {len(term.next_args)} next_args"
+            )
+        return [term.decider, *term.next_args, *term.results]
+    raise IRError(f"{block.name}: unknown terminator {term!r}")
+
+
+def _check_terminator(block: BlockDef, guards: Dict[int, Guard]) -> None:
+    for ref in _terminator_refs(block):
+        if isinstance(ref, Res):
+            _check_ref(block, OpDef(len(block.ops), Op.COPY, ()), ref)
+            if _produce_guard(block, guards, ref) != ():
+                raise IRError(
+                    f"{block.name}: terminator value {ref} is conditional; "
+                    f"merge it to the top region first"
+                )
+        elif isinstance(ref, Param):
+            if not 0 <= ref.index < block.n_params:
+                raise IRError(f"{block.name}: bad terminator param {ref}")

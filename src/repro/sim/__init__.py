@@ -1,0 +1,20 @@
+"""Machine models (paper Sec. II-C / VI).
+
+All engines execute programs compiled from the same context IR and are
+compared on execution time (cycles), IPC, and live tokens:
+
+* :mod:`repro.sim.tagged` -- tagged (unordered) dataflow. The tag
+  policy selects the architecture: unbounded global tags (naive
+  unordered dataflow), bounded global tags (deadlock-prone), TYR's
+  local tag spaces, or TTDA-style greedy per-block k-bounding.
+* :mod:`repro.sim.queued` -- ordered dataflow (FIFO channels, RipTide
+  style).
+* :mod:`repro.sim.window` -- block-window machines: sequential von
+  Neumann (window 1, width 1) and sequential dataflow
+  (WaveScalar/TRIPS style block windows).
+"""
+
+from repro.sim.metrics import ExecutionResult
+from repro.sim.memory import Memory
+
+__all__ = ["ExecutionResult", "Memory"]

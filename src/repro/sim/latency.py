@@ -1,0 +1,29 @@
+"""Unpredictable memory-latency modeling.
+
+The paper's evaluation uses single-cycle instructions, but its
+*argument* for unordered dataflow rests on irregular workloads having
+"unpredictable latency" that stalls ordered pipelines (Sec. II-C).
+The engines accept a ``load_latency`` knob: 1 keeps the paper's
+idealized timing; L > 1 gives every load a deterministic
+pseudo-random latency in [1, L] (a cache-hit/miss mix keyed by the
+accessed address), letting the harness measure how each token-
+synchronization scheme tolerates memory variance.
+"""
+
+from __future__ import annotations
+
+
+def load_delay(load_latency: int, array: str, index: int) -> int:
+    """Latency of one load, deterministic in (array, index).
+
+    Returns 1 when ``load_latency <= 1`` (the paper's idealized
+    model); otherwise a pseudo-random value in [1, load_latency],
+    skewed so roughly half the accesses are fast (cache-hit-like).
+    """
+    if load_latency <= 1:
+        return 1
+    h = (hash(array) * 1000003 + index * 2654435761) & 0xFFFFFFFF
+    h ^= h >> 15
+    if h & 1:
+        return 1  # hit
+    return 2 + (h >> 8) % (load_latency - 1)

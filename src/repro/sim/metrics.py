@@ -1,0 +1,108 @@
+"""Execution metrics shared by all machine models (paper Sec. VI).
+
+The paper samples IPC and the number of live tokens every cycle; peak
+and mean live state are the locality metrics (Fig. 14), the per-cycle
+traces drive Figs. 2, 9, 16, 18, and the IPC samples drive the CDF of
+Fig. 13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome and metrics of one simulated execution."""
+
+    machine: str
+    completed: bool
+    cycles: int
+    instructions: int
+    results: Tuple[object, ...]
+    ipc_trace: List[int]
+    live_trace: List[int]
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def peak_live(self) -> int:
+        if not self.live_trace and "peak_live" in self.extra:
+            return self.extra["peak_live"]
+        return max(self.live_trace, default=0)
+
+    @property
+    def mean_live(self) -> float:
+        if not self.live_trace and "mean_live" in self.extra:
+            return self.extra["mean_live"]
+        if not self.live_trace:
+            return 0.0
+        return sum(self.live_trace) / len(self.live_trace)
+
+    @property
+    def mean_ipc(self) -> float:
+        if self.cycles == 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    def summary(self) -> str:
+        return (
+            f"{self.machine}: {'ok' if self.completed else 'DEADLOCK'} "
+            f"cycles={self.cycles} instrs={self.instructions} "
+            f"ipc={self.mean_ipc:.2f} peak_live={self.peak_live} "
+            f"mean_live={self.mean_live:.1f}"
+        )
+
+
+class MetricsRecorder:
+    """Incremental per-cycle sampler used by the engines."""
+
+    def __init__(self, sample_traces: bool = True):
+        self.sample_traces = sample_traces
+        self.ipc_trace: List[int] = []
+        self.live_trace: List[int] = []
+        self.instructions = 0
+        self.cycles = 0
+        self._peak_live = 0
+        self._live_sum = 0
+
+    def sample(self, fired: int, live: int) -> None:
+        self.cycles += 1
+        self.instructions += fired
+        if live > self._peak_live:
+            self._peak_live = live
+        self._live_sum += live
+        if self.sample_traces:
+            self.ipc_trace.append(fired)
+            self.live_trace.append(live)
+
+    def result(self, machine: str, completed: bool,
+               results: Tuple[object, ...],
+               extra: Optional[Dict[str, object]] = None
+               ) -> ExecutionResult:
+        res = ExecutionResult(
+            machine=machine,
+            completed=completed,
+            cycles=self.cycles,
+            instructions=self.instructions,
+            results=results,
+            ipc_trace=self.ipc_trace,
+            live_trace=self.live_trace,
+            extra=dict(extra or {}),
+        )
+        if not self.sample_traces:
+            # peak/mean still available through extra fields
+            res.extra.setdefault("peak_live", self._peak_live)
+            res.extra.setdefault(
+                "mean_live",
+                self._live_sum / self.cycles if self.cycles else 0.0,
+            )
+        return res
+
+    @property
+    def peak_live(self) -> int:
+        return self._peak_live
+
+    @property
+    def mean_live(self) -> float:
+        return self._live_sum / self.cycles if self.cycles else 0.0

@@ -1,0 +1,12 @@
+"""Ordered dataflow machine (FIFO token queues; paper Sec. II-C).
+
+One static instance per instruction; tokens synchronize by arrival
+order in per-port FIFO queues of configurable depth (the paper uses 4,
+after RipTide). Back pressure from full queues throttles producers, so
+live state is bounded by construction -- at the cost of serializing
+dynamic instances of the same instruction.
+"""
+
+from repro.sim.queued.engine import QueuedEngine
+
+__all__ = ["QueuedEngine"]

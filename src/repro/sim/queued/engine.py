@@ -1,0 +1,321 @@
+"""Execution engine for flat ordered-dataflow graphs.
+
+Firing rule: a node fires when the tokens it needs are at the heads of
+its input FIFOs *and* every token it would emit has space in the
+destination FIFO (all-or-nothing back pressure). Each static
+instruction fires at most once per cycle -- FIFO ordering serializes
+dynamic instances of the same instruction, which is exactly the
+parallelism loss the paper attributes to ordered dataflow (Fig. 5d).
+
+``mu`` loop-head gates carry the canonical three-state protocol:
+pop the initial value, then for each loop decider pop-and-forward a
+backedge value (true) or pop-and-discard it and re-arm for the next
+activation (false).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+from repro.errors import DeadlockError, SimulationError
+from repro.compiler.flatten import FlatGraph
+from repro.ir.ops import OP_INFO, Op
+from repro.sim.latency import load_delay
+from repro.sim.memory import Memory
+from repro.sim.metrics import ExecutionResult, MetricsRecorder
+
+#: Mu gate states.
+_MU_INIT = 0  # waiting for an initial value
+_MU_LOOP = 1  # waiting for a decider (and possibly a backedge value)
+
+
+class QueuedEngine:
+    """Simulates one execution of a flat graph with FIFO channels."""
+
+    def __init__(self, graph: FlatGraph, memory: Memory,
+                 queue_depth: int = 4, issue_width: int = 128,
+                 sample_traces: bool = True,
+                 load_latency: int = 1,
+                 max_cycles: int = 200_000_000):
+        if queue_depth < 1:
+            raise SimulationError("queue depth must be >= 1")
+        self.graph = graph
+        self.memory = memory
+        self.queue_depth = queue_depth
+        self.issue_width = issue_width
+        self.load_latency = load_latency
+        self.max_cycles = max_cycles
+        self.metrics = MetricsRecorder(sample_traces=sample_traces)
+
+        n = len(graph.nodes)
+        self._op = [nd.op for nd in graph.nodes]
+        self._imms = [nd.imms for nd in graph.nodes]
+        self._edges = [nd.out_edges for nd in graph.nodes]
+        self._n_inputs = [nd.n_inputs for nd in graph.nodes]
+        self._attrs = [nd.attrs for nd in graph.nodes]
+        self._token_ports = [nd.token_ports for nd in graph.nodes]
+        # fifos[node][port] -> deque (None for immediate ports)
+        self._fifos: List[List[Optional[Deque]]] = []
+        for nd in graph.nodes:
+            self._fifos.append([
+                None if p in nd.imms else deque()
+                for p in range(nd.n_inputs)
+            ])
+        # Producers into each (node, port): who to re-check on pop.
+        self._producers: List[Set[int]] = [set() for _ in range(n)]
+        for nd in graph.nodes:
+            for port_edges in nd.out_edges:
+                for dest_id, _ in port_edges:
+                    self._producers[dest_id].add(nd.node_id)
+        self._mu_state: Dict[int, int] = {
+            nd.node_id: _MU_INIT for nd in graph.nodes if nd.op is Op.MU
+        }
+        self._live = 0
+        self._results: Dict[int, object] = dict(graph.const_results)
+        self._candidates: Set[int] = set()
+        self._next_candidates: Set[int] = set()
+        #: Per-load-node in-flight response queues. Responses are
+        #: delivered in issue order (head-of-line blocking), because a
+        #: FIFO-synchronized machine must keep every edge's token
+        #: stream ordered even under variable memory latency.
+        self._inflight: Dict[int, Deque[Tuple[int, object]]] = {}
+        # Tokens pushed this cycle become visible next cycle
+        # (single-cycle latency, matching the tagged engine's timing).
+        self._fresh: Dict[Tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    def run(self, args: List[object]) -> ExecutionResult:
+        if len(args) != len(self.graph.entry_sources):
+            raise SimulationError(
+                f"entry takes {len(self.graph.entry_sources)} args, "
+                f"got {len(args)}"
+            )
+        for value, dests in zip(args, self.graph.entry_sources):
+            for dest_id, port in dests:
+                self._fifos[dest_id][port].append(value)
+                self._live += 1
+                self._next_candidates.add(dest_id)
+
+        completed = False
+        while True:
+            self._candidates = self._next_candidates
+            self._next_candidates = set()
+            self._fresh.clear()
+            self._deliver_memory_responses()
+            fired = self._run_cycle()
+            if fired == 0 and not self._next_candidates:
+                if self._inflight:
+                    self.metrics.sample(0, self._live)
+                    continue
+                if self._live == 0:
+                    completed = True
+                    break
+                self._raise_deadlock()
+            self.metrics.sample(fired, self._live)
+            if self.metrics.cycles >= self.max_cycles:
+                raise SimulationError(
+                    f"exceeded max_cycles={self.max_cycles}"
+                )
+
+        results = tuple(
+            self._results.get(i) for i in range(self.graph.n_results)
+        )
+        extra = {"queue_depth": self.queue_depth,
+                 "issue_width": self.issue_width}
+        return self.metrics.result("ordered", completed, results, extra)
+
+    def _deliver_memory_responses(self) -> None:
+        if not self._inflight:
+            return
+        now = self.metrics.cycles
+        done = []
+        for nid, queue in self._inflight.items():
+            while queue and queue[0][0] <= now:
+                _, value = queue.popleft()
+                self._emit(nid, 0, value)
+                self._emit(nid, 1, 0)
+            if not queue:
+                done.append(nid)
+        for nid in done:
+            del self._inflight[nid]
+
+    def _raise_deadlock(self) -> None:
+        stuck = []
+        for nid, fifos in enumerate(self._fifos):
+            held = sum(len(f) for f in fifos if f is not None)
+            if held:
+                stuck.append((nid, self._op[nid].value, held))
+        raise DeadlockError(
+            f"ordered dataflow stalled with {self._live} queued tokens; "
+            f"first stuck nodes: {stuck[:8]}",
+            stuck,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_cycle(self) -> int:
+        fired = 0
+        budget = self.issue_width
+        # Deterministic order: ascending node id.
+        for nid in sorted(self._candidates):
+            if budget == 0:
+                self._next_candidates.add(nid)
+                continue
+            if self._try_fire(nid):
+                fired += 1
+                budget -= 1
+                # It may be able to fire again next cycle.
+                self._next_candidates.add(nid)
+        return fired
+
+    # ------------------------------------------------------------------
+    def _has_space(self, nid: int, port: int) -> bool:
+        for dest_id, dest_port in self._edges[nid][port]:
+            if len(self._fifos[dest_id][dest_port]) >= self.queue_depth:
+                return False
+        return True
+
+    def _emit(self, nid: int, port: int, value: object) -> None:
+        for dest_id, dest_port in self._edges[nid][port]:
+            self._fifos[dest_id][dest_port].append(value)
+            key = (dest_id, dest_port)
+            self._fresh[key] = self._fresh.get(key, 0) + 1
+            self._live += 1
+            self._next_candidates.add(dest_id)
+
+    def _pop(self, nid: int, port: int) -> object:
+        value = self._fifos[nid][port].popleft()
+        self._live -= 1
+        # Producers blocked on this queue may now have space.
+        self._next_candidates.update(self._producers[nid])
+        return value
+
+    def _head(self, nid: int, port: int):
+        imms = self._imms[nid]
+        if port in imms:
+            return True, imms[port]
+        fifo = self._fifos[nid][port]
+        # Tokens pushed this cycle are not yet visible.
+        visible = len(fifo) - self._fresh.get((nid, port), 0)
+        if visible <= 0:
+            return False, None
+        return True, fifo[0]
+
+    def _consume(self, nid: int, port: int) -> object:
+        imms = self._imms[nid]
+        if port in imms:
+            return imms[port]
+        return self._pop(nid, port)
+
+    # ------------------------------------------------------------------
+    def _try_fire(self, nid: int) -> bool:
+        op = self._op[nid]
+        if op is Op.MU:
+            return self._try_fire_mu(nid)
+        if op is Op.MERGE:
+            ok, d = self._head(nid, 0)
+            if not ok:
+                return False
+            chosen = 1 if d else 2
+            ok, value = self._head(nid, chosen)
+            if not ok or not self._has_space(nid, 0):
+                return False
+            self._consume(nid, 0)
+            self._consume(nid, chosen)
+            self._emit(nid, 0, value)
+            return True
+        if op is Op.STEER:
+            ok, d = self._head(nid, 0)
+            if not ok:
+                return False
+            ok, value = self._head(nid, 1)
+            if not ok:
+                return False
+            taken = bool(d) == bool(self._attrs[nid]["sense"])
+            if taken and not self._has_space(nid, 0):
+                return False
+            self._consume(nid, 0)
+            self._consume(nid, 1)
+            if taken:
+                self._emit(nid, 0, value)
+            return True
+
+        # Default rule: all inputs at heads, all outputs have space.
+        inputs = []
+        for port in range(self._n_inputs[nid]):
+            ok, value = self._head(nid, port)
+            if not ok:
+                return False
+            inputs.append(value)
+        if op is Op.LOAD:
+            if not (self._has_space(nid, 0) and self._has_space(nid, 1)):
+                return False
+            for port in range(self._n_inputs[nid]):
+                self._consume(nid, port)
+            value = self.memory.load(self._attrs[nid]["array"],
+                                     inputs[0])
+            delay = load_delay(self.load_latency,
+                               self._attrs[nid]["array"], inputs[0])
+            if delay <= 1 and nid not in self._inflight:
+                self._emit(nid, 0, value)
+                self._emit(nid, 1, 0)
+            else:
+                # Keep responses in issue order behind any slower
+                # predecessor from the same static load.
+                due = self.metrics.cycles + delay - 1
+                self._inflight.setdefault(nid, deque()).append(
+                    (due, value)
+                )
+            return True
+        if op is Op.STORE:
+            if not self._has_space(nid, 0):
+                return False
+            for port in range(self._n_inputs[nid]):
+                self._consume(nid, port)
+            self.memory.store(self._attrs[nid]["array"], inputs[0],
+                              inputs[1])
+            self._emit(nid, 0, 0)
+            return True
+        info = OP_INFO[op]
+        if not info.pure:
+            raise SimulationError(f"cannot execute {op.value} (flat)")
+        if not self._has_space(nid, 0):
+            return False
+        for port in range(self._n_inputs[nid]):
+            self._consume(nid, port)
+        value = info.evaluate(*inputs)
+        idx = self._attrs[nid].get("result_index")
+        if idx is not None:
+            self._results[idx] = value
+        self._emit(nid, 0, value)
+        return True
+
+    def _try_fire_mu(self, nid: int) -> bool:
+        state = self._mu_state[nid]
+        if state == _MU_INIT:
+            ok, value = self._head(nid, 0)
+            if not ok or not self._has_space(nid, 0):
+                return False
+            self._consume(nid, 0)
+            self._emit(nid, 0, value)
+            self._mu_state[nid] = _MU_LOOP
+            return True
+        ok, d = self._head(nid, 2)
+        if not ok:
+            return False
+        ok, back = self._head(nid, 1)
+        if not ok:
+            return False
+        if d:
+            if not self._has_space(nid, 0):
+                return False
+            self._consume(nid, 2)
+            self._consume(nid, 1)
+            self._emit(nid, 0, back)
+        else:
+            # Activation over: discard the final backedge value and
+            # re-arm for the next initial value.
+            self._consume(nid, 2)
+            self._consume(nid, 1)
+            self._mu_state[nid] = _MU_INIT
+        return True

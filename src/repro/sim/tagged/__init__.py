@@ -1,0 +1,34 @@
+"""Tagged (unordered) dataflow machine.
+
+The engine executes elaborated graphs; the :mod:`tag policy
+<repro.sim.tagged.tagspace>` chooses between the paper's architectures:
+
+* ``unordered`` -- unbounded global tag space (TTDA / Monsoon-like
+  naive unordered dataflow);
+* ``unordered-bounded`` -- bounded *global* tag pool with greedy
+  allocation, which deadlocks on real programs (paper Fig. 11);
+* ``tyr`` -- TYR's local tag spaces with ready-gated allocation and the
+  tail-recursion spare tag (paper Secs. III-V);
+* ``kbounded`` -- TTDA-style per-block pools with greedy allocation
+  (paper Sec. VIII-A), safe only for simple loop structures.
+"""
+
+from repro.sim.tagged.engine import TaggedEngine
+from repro.sim.tagged.tagspace import (
+    BoundedGlobalPolicy,
+    KBoundedPolicy,
+    TagPolicy,
+    TagPool,
+    TyrPolicy,
+    UnboundedGlobalPolicy,
+)
+
+__all__ = [
+    "TaggedEngine",
+    "TagPolicy",
+    "TagPool",
+    "TyrPolicy",
+    "UnboundedGlobalPolicy",
+    "BoundedGlobalPolicy",
+    "KBoundedPolicy",
+]

@@ -1,0 +1,50 @@
+"""Deadlock diagnosis for tagged dataflow (paper Fig. 11).
+
+When a tagged machine quiesces with live tokens or pending allocations,
+the engine raises :class:`repro.errors.DeadlockError` carrying a
+:class:`DeadlockDiagnosis`, which records which allocations were
+pending against which tag space (the red nodes of Fig. 11), how each
+pool was occupied, and how many tokens were stranded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class PendingAllocation:
+    node_id: int
+    block: str  # block whose tag space is exhausted
+    parent_tag: object
+    ready: bool
+    spare: bool
+
+
+@dataclass
+class DeadlockDiagnosis:
+    cycle: int
+    live_tokens: int
+    pending_allocations: List[PendingAllocation] = field(
+        default_factory=list
+    )
+    pool_occupancy: Dict[str, Tuple[int, Optional[int]]] = field(
+        default_factory=dict
+    )  # pool name -> (in use, capacity)
+
+    def describe(self) -> str:
+        lines = [
+            f"deadlock at cycle {self.cycle}: {self.live_tokens} live "
+            f"tokens, {len(self.pending_allocations)} pending tag "
+            f"allocations"
+        ]
+        for name, (used, cap) in sorted(self.pool_occupancy.items()):
+            cap_s = "unbounded" if cap is None else str(cap)
+            lines.append(f"  pool {name}: {used}/{cap_s} tags in use")
+        by_space: Dict[str, int] = {}
+        for p in self.pending_allocations:
+            by_space[p.block] = by_space.get(p.block, 0) + 1
+        for space, count in sorted(by_space.items()):
+            lines.append(f"  {count} allocation(s) starved for {space!r}")
+        return "\n".join(lines)

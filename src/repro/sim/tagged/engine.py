@@ -1,0 +1,485 @@
+"""Execution engine for tagged (unordered) dataflow graphs.
+
+Idealized timing per the paper's methodology (Sec. VI): every
+instruction takes one cycle, up to ``issue_width`` instructions fire
+per cycle (multiple dynamic instances of the same static instruction
+may fire together), and tokens produced in a cycle become visible the
+next cycle. IPC and live-token counts are sampled every cycle.
+
+Token matching is the textbook wait-match store: tokens are buffered
+per (static instruction, tag) until the firing rule is satisfied.
+``allocate`` follows TYR's special firing rule (paper Sec. IV-A); its
+interaction with the tag pools is what differentiates the architectures
+(see :mod:`repro.sim.tagged.tagspace`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.errors import DeadlockError, SimulationError, TokenBoundExceeded
+from repro.compiler.graph import TaggedGraph
+from repro.ir.ops import OP_INFO, Op
+from repro.sim.latency import load_delay
+from repro.sim.memory import Memory
+from repro.sim.metrics import ExecutionResult, MetricsRecorder
+from repro.sim.tagged.deadlock import DeadlockDiagnosis, PendingAllocation
+from repro.sim.tagged.trace import ExecutionTrace
+from repro.sim.tagged.tagspace import PoolStats, TagPolicy, TagPool
+
+#: Tag of the machine-level root context (never allocated from a pool).
+ROOT_TAG = -1
+
+# Ready-queue actions.
+_FIRE = 0
+_ALLOC_POP = 1
+_ALLOC_CTL = 2
+
+
+class _AllocState:
+    __slots__ = ("request", "ready", "popped", "scheduled",
+                 "ctl_scheduled", "waiting")
+
+    def __init__(self):
+        self.request = False
+        self.ready = False
+        self.popped = False
+        self.scheduled = False
+        self.ctl_scheduled = False
+        self.waiting = False
+
+
+class TaggedEngine:
+    """Simulates one execution of an elaborated graph."""
+
+    def __init__(self, graph: TaggedGraph, memory: Memory,
+                 policy: TagPolicy, issue_width: int = 128,
+                 sample_traces: bool = True,
+                 check_token_bound: bool = False,
+                 track_occupancy: bool = False,
+                 record_trace: bool = False,
+                 load_latency: int = 1,
+                 max_cycles: int = 50_000_000):
+        self.graph = graph
+        self.memory = memory
+        self.policy = policy
+        self.issue_width = issue_width
+        self.load_latency = load_latency
+        self.max_cycles = max_cycles
+        self.metrics = MetricsRecorder(sample_traces=sample_traces)
+
+        self.pools: Dict[str, TagPool] = policy.build_pools(
+            graph.blocks, graph.tag_overrides
+        )
+        self._unique_pools: List[TagPool] = []
+        seen = set()
+        for pool in self.pools.values():
+            if id(pool) not in seen:
+                seen.add(id(pool))
+                self._unique_pools.append(pool)
+
+        # Flattened node tables for speed.
+        n = len(graph.nodes)
+        self._op: List[Op] = [nd.op for nd in graph.nodes]
+        self._imms: List[Dict[int, object]] = [nd.imms for nd in graph.nodes]
+        self._edges: List[List[List[Tuple[int, int]]]] = [
+            nd.out_edges for nd in graph.nodes
+        ]
+        self._n_token_ports: List[int] = [
+            len(nd.token_ports) for nd in graph.nodes
+        ]
+        self._n_inputs: List[int] = [nd.n_inputs for nd in graph.nodes]
+        self._attrs: List[Dict[str, object]] = [
+            nd.attrs for nd in graph.nodes
+        ]
+        self._block: List[str] = [nd.block for nd in graph.nodes]
+        self._alloc_pool: Dict[int, TagPool] = {}
+        self._alloc_spare: Dict[int, bool] = {}
+        self._free_pool: Dict[int, TagPool] = {}
+        for nd in graph.nodes:
+            if nd.op is Op.ALLOCATE:
+                self._alloc_pool[nd.node_id] = self.pools[
+                    nd.attrs["tagspace"]
+                ]
+                self._alloc_spare[nd.node_id] = bool(nd.attrs["spare"])
+            elif nd.op is Op.FREE:
+                self._free_pool[nd.node_id] = self.pools[
+                    nd.attrs["tagspace"]
+                ]
+
+        # Dynamic state.
+        self._wait: Dict[Tuple[int, object], Dict[int, object]] = {}
+        self._alloc_state: Dict[Tuple[int, object], _AllocState] = {}
+        self._ready: Deque[Tuple[int, object, int]] = deque()
+        self._pending: List[Tuple[int, int, object, object]] = []
+        self._waiters: Dict[int, Deque[Tuple[int, object]]] = {
+            id(p): deque() for p in self._unique_pools
+        }
+        self._dirty_pools: List[TagPool] = []
+        #: cycle index -> pending deposits maturing that cycle (loads
+        #: in flight under load_latency > 1).
+        self._delayed: Dict[int, List[Tuple]] = {}
+        self._live = 0
+        self._results: Dict[int, object] = {}
+
+        # Optional dynamic-execution-graph recording (paper Figs. 4/5):
+        # every firing becomes an event; token flows become edges.
+        self.trace = ExecutionTrace() if record_trace else None
+        self._cur_event = -1  # event id of the instruction now firing
+        #: (nid, tag) -> {port: producing event id} (tracing only).
+        self._wait_src: Dict[Tuple[int, object], Dict[int, int]] = {}
+
+        # Optional per-tag-space wait-match store occupancy tracking
+        # (the paper's "Problem #2": token store implementability).
+        self._track_occupancy = track_occupancy
+        self._occupancy: Dict[str, int] = {}
+        self._peak_occupancy: Dict[str, int] = {}
+        if track_occupancy:
+            for b in list(graph.blocks) + ["<root>"]:
+                self._occupancy[b] = 0
+                self._peak_occupancy[b] = 0
+
+        self._token_bound: Optional[int] = None
+        if check_token_bound:
+            caps = [p.capacity for p in self._unique_pools]
+            if all(c is not None for c in caps):
+                # Theorem 2: T*N*M with T the largest tag space, plus
+                # the root context's tokens.
+                t = max(caps)
+                self._token_bound = (
+                    graph.token_bound(t) + graph.max_inputs * n
+                )
+
+    # ------------------------------------------------------------------
+    def run(self, args: List[object]) -> ExecutionResult:
+        if len(args) != len(self.graph.entry_sources):
+            raise SimulationError(
+                f"entry takes {len(self.graph.entry_sources)} args, "
+                f"got {len(args)}"
+            )
+        for value, dests in zip(args, self.graph.entry_sources):
+            for dest_id, port in dests:
+                self._pending.append((dest_id, port, ROOT_TAG, value, -1))
+                self._live += 1
+        self._apply_pending()
+
+        completed = False
+        while True:
+            if not self._ready:
+                if self._delayed:
+                    # Memory in flight: burn cycles until it returns.
+                    self._apply_pending()
+                    self.metrics.sample(0, self._live)
+                    continue
+                if self._is_finished():
+                    completed = True
+                    break
+                self._raise_deadlock()
+            fired = self._run_cycle()
+            self.metrics.sample(fired, self._live)
+            if (self._token_bound is not None
+                    and self._live > self._token_bound):
+                raise TokenBoundExceeded(
+                    f"live tokens {self._live} exceed Theorem 2 bound "
+                    f"{self._token_bound}"
+                )
+            if self.metrics.cycles >= self.max_cycles:
+                raise SimulationError(
+                    f"exceeded max_cycles={self.max_cycles}"
+                )
+
+        results = tuple(
+            self._results.get(i)
+            for i in range(len(self.graph.result_nodes))
+        )
+        extra = {
+            "policy": self.policy.describe(),
+            "issue_width": self.issue_width,
+            "peak_store_occupancy": dict(self._peak_occupancy),
+            "pool_stats": [
+                PoolStats(p.name, p.capacity, p.peak_in_use,
+                          p.total_allocations)
+                for p in self._unique_pools
+            ],
+            "leftover_tags_in_use": sum(
+                p.in_use for p in self._unique_pools
+            ),
+        }
+        return self.metrics.result("tagged", completed, results, extra)
+
+    # ------------------------------------------------------------------
+    def _is_finished(self) -> bool:
+        return (not self._pending and not self._delayed
+                and self._live == 0 and not self._alloc_state)
+
+    def _raise_deadlock(self) -> None:
+        diagnosis = DeadlockDiagnosis(
+            cycle=self.metrics.cycles,
+            live_tokens=self._live,
+            pool_occupancy={
+                p.name: (p.in_use, p.capacity)
+                for p in self._unique_pools
+            },
+        )
+        for (nid, tag), st in self._alloc_state.items():
+            if st.request and not st.popped:
+                diagnosis.pending_allocations.append(PendingAllocation(
+                    node_id=nid,
+                    block=self._alloc_pool[nid].name,
+                    parent_tag=tag,
+                    ready=st.ready,
+                    spare=self._alloc_spare[nid],
+                ))
+        raise DeadlockError(diagnosis.describe(), diagnosis)
+
+    # ------------------------------------------------------------------
+    def _run_cycle(self) -> int:
+        fired = 0
+        budget = self.issue_width
+        ready = self._ready
+        while ready and budget > 0:
+            nid, tag, action = ready.popleft()
+            if action == _FIRE:
+                self._fire(nid, tag)
+                fired += 1
+                budget -= 1
+            elif action == _ALLOC_POP:
+                if self._fire_alloc_pop(nid, tag):
+                    fired += 1
+                    budget -= 1
+            else:  # _ALLOC_CTL
+                self._fire_alloc_ctl(nid, tag)
+                fired += 1
+                budget -= 1
+        self._apply_pending()
+        return fired
+
+    def _apply_pending(self) -> None:
+        matured = self._delayed.pop(self.metrics.cycles, None)
+        if matured:
+            self._pending.extend(matured)
+        pending = self._pending
+        self._pending = []
+        for nid, port, tag, data, src in pending:
+            self._deposit(nid, port, tag, data, src)
+        if self._dirty_pools:
+            dirty = self._dirty_pools
+            self._dirty_pools = []
+            for pool in dirty:
+                self._wake_waiters(pool)
+
+    # ------------------------------------------------------------------
+    def _emit(self, nid: int, port: int, tag: object, data: object) -> None:
+        edges = self._edges[nid][port]
+        if not edges:
+            return  # token discarded (no consumers)
+        append = self._pending.append
+        src = self._cur_event
+        for dest_id, dest_port in edges:
+            append((dest_id, dest_port, tag, data, src))
+        self._live += len(edges)
+
+    def _deposit(self, nid: int, port: int, tag: object,
+                 data: object, src: int = -1) -> None:
+        op = self._op[nid]
+        if self.trace is not None and src >= 0:
+            self._wait_src.setdefault((nid, tag), {})[port] = src
+        if op is Op.ALLOCATE:
+            self._deposit_alloc(nid, port, tag)
+            return
+        key = (nid, tag)
+        entry = self._wait.get(key)
+        if entry is None:
+            entry = {}
+            self._wait[key] = entry
+        entry[port] = data
+        if self._track_occupancy:
+            block = self._block[nid]
+            occ = self._occupancy[block] + 1
+            self._occupancy[block] = occ
+            if occ > self._peak_occupancy[block]:
+                self._peak_occupancy[block] = occ
+        if op is Op.MERGE:
+            if 0 in entry:
+                want = 1 if entry[0] else 2
+                if want in entry or want in self._imms[nid]:
+                    self._ready.append((nid, tag, _FIRE))
+        elif len(entry) == self._n_token_ports[nid]:
+            self._ready.append((nid, tag, _FIRE))
+
+    # ------------------------------------------------------------------
+    # Allocate state machine (paper Sec. IV-A firing rule)
+    # ------------------------------------------------------------------
+    def _deposit_alloc(self, nid: int, port: int, tag: object) -> None:
+        key = (nid, tag)
+        st = self._alloc_state.get(key)
+        if st is None:
+            st = _AllocState()
+            self._alloc_state[key] = st
+        if port == 0:
+            st.request = True
+        else:
+            st.ready = True
+            if st.popped and not st.ctl_scheduled:
+                st.ctl_scheduled = True
+                self._ready.append((nid, tag, _ALLOC_CTL))
+                return
+        if st.request and not st.popped and not st.scheduled:
+            pool = self._alloc_pool[nid]
+            if pool.can_pop(st.ready, self._alloc_spare[nid]):
+                st.scheduled = True
+                # A stale queue entry (if any) is skipped by
+                # _wake_waiters since waiting is cleared here.
+                st.waiting = False
+                self._ready.append((nid, tag, _ALLOC_POP))
+            elif not st.waiting:
+                st.waiting = True
+                self._waiters[id(pool)].append(key)
+
+    def _fire_alloc_pop(self, nid: int, tag: object) -> bool:
+        key = (nid, tag)
+        st = self._alloc_state[key]
+        pool = self._alloc_pool[nid]
+        st.scheduled = False
+        if not pool.can_pop(st.ready, self._alloc_spare[nid]):
+            # Another allocation took the tag this cycle; wait for a
+            # free.
+            if not st.waiting:
+                st.waiting = True
+                self._waiters[id(pool)].append(key)
+            return False
+        if self.trace is not None:
+            self._cur_event = self.trace.record(
+                self.metrics.cycles, nid, self._block[nid],
+                "allocate", tag,
+                self._wait_src.pop((nid, tag), {}),
+            )
+        new_tag = pool.pop()
+        st.popped = True
+        st.waiting = False
+        self._live -= 1  # the request token is consumed
+        self._emit(nid, 0, tag, new_tag)
+        if st.ready:
+            self._live -= 1  # the ready token is consumed
+            self._emit(nid, 1, tag, 0)
+            del self._alloc_state[key]
+        return True
+
+    def _fire_alloc_ctl(self, nid: int, tag: object) -> None:
+        key = (nid, tag)
+        self._live -= 1  # consume the late ready token
+        self._emit(nid, 1, tag, 0)
+        del self._alloc_state[key]
+
+    def _wake_waiters(self, pool: TagPool) -> None:
+        waiters = self._waiters[id(pool)]
+        if not waiters:
+            return
+        still_waiting: Deque[Tuple[int, object]] = deque()
+        while waiters:
+            key = waiters.popleft()
+            st = self._alloc_state.get(key)
+            if st is None or st.popped or st.scheduled or not st.waiting:
+                continue
+            nid = key[0]
+            if pool.can_pop(st.ready, self._alloc_spare[nid]):
+                st.scheduled = True
+                st.waiting = False
+                self._ready.append((key[0], key[1], _ALLOC_POP))
+            else:
+                still_waiting.append(key)
+        self._waiters[id(pool)] = still_waiting
+
+    # ------------------------------------------------------------------
+    # Ordinary instruction firing
+    # ------------------------------------------------------------------
+    def _fire(self, nid: int, tag: object) -> None:
+        op = self._op[nid]
+        if self.trace is not None:
+            self._cur_event = self.trace.record(
+                self.metrics.cycles, nid, self._block[nid],
+                self._op[nid].value, tag,
+                self._wait_src.pop((nid, tag), {}),
+            )
+        entry = self._wait.pop((nid, tag))
+        self._live -= len(entry)
+        if self._track_occupancy:
+            self._occupancy[self._block[nid]] -= len(entry)
+        imms = self._imms[nid]
+
+        if op is Op.MERGE:
+            d = entry[0]
+            chosen = 1 if d else 2
+            data = entry[chosen] if chosen in entry else imms[chosen]
+            self._emit(nid, 0, tag, data)
+            return
+        if op is Op.STEER:
+            d = entry.get(0, imms.get(0))
+            value = entry.get(1, imms.get(1))
+            attrs = self._attrs[nid]
+            if bool(d) == bool(attrs["sense"]):
+                self._emit(nid, 0, tag, value)
+            self._emit(nid, 1, tag, 0)
+            return
+
+        # Assemble inputs in port order for the remaining ops.
+        n_in = self._n_inputs[nid]
+        inputs = [
+            entry[p] if p in entry else imms[p] for p in range(n_in)
+        ]
+        if op is Op.LOAD:
+            attrs = self._attrs[nid]
+            value = self.memory.load(attrs["array"], inputs[0])
+            delay = load_delay(self.load_latency, attrs["array"],
+                               inputs[0])
+            if delay <= 1:
+                self._emit(nid, 0, tag, value)
+                self._emit(nid, 1, tag, 0)
+            else:
+                due = self.metrics.cycles + delay - 1
+                bucket = self._delayed.setdefault(due, [])
+                src = self._cur_event
+                for port, data in ((0, value), (1, 0)):
+                    for dest_id, dest_port in self._edges[nid][port]:
+                        bucket.append((dest_id, dest_port, tag, data,
+                                       src))
+                        self._live += 1
+        elif op is Op.STORE:
+            attrs = self._attrs[nid]
+            self.memory.store(attrs["array"], inputs[0], inputs[1])
+            self._emit(nid, 0, tag, 0)
+        elif op is Op.JOIN:
+            self._emit(nid, 0, tag, inputs[0])
+        elif op is Op.CHANGE_TAG:
+            table = self._attrs[nid].get("route_table")
+            if table is None:
+                self._emit(nid, 0, inputs[0], inputs[1])
+            else:
+                # Dynamic-destination changeTag (multi-caller returns).
+                dests = table.get(inputs[2], ())
+                if dests:
+                    append = self._pending.append
+                    src = self._cur_event
+                    for dest_id, dest_port in dests:
+                        append((dest_id, dest_port, inputs[0],
+                                inputs[1], src))
+                    self._live += len(dests)
+            self._emit(nid, 1, tag, 0)
+        elif op is Op.EXTRACT_TAG:
+            self._emit(nid, 0, tag, tag)
+        elif op is Op.FREE:
+            pool = self._free_pool[nid]
+            pool.push(tag)
+            if pool not in self._dirty_pools:
+                self._dirty_pools.append(pool)
+        else:
+            info = OP_INFO[op]
+            if not info.pure:
+                raise SimulationError(f"cannot execute {op.value}")
+            value = info.evaluate(*inputs)
+            attrs = self._attrs[nid]
+            idx = attrs.get("result_index")
+            if idx is not None:
+                self._results[idx] = value
+            self._emit(nid, 0, tag, value)

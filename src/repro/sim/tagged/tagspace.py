@@ -1,0 +1,254 @@
+"""Tag pools and allocation policies (the paper's central knob).
+
+A :class:`TagPool` hands out tags for one or more tag spaces. The
+*allocation rule* is what differentiates architectures:
+
+* **Greedy** pools pop whenever a tag is free. This is what prior
+  architectures do; with an unbounded pool it is naive unordered
+  dataflow, with a bounded pool it deadlocks (paper Fig. 11, Sec. V).
+* **Gated** pools implement TYR's ``allocate`` semantics (paper
+  Sec. IV-A): with more than ``reserve + 1`` tags free, pop
+  immediately; with exactly ``reserve + 1`` free, pop only for a
+  *ready* context; never dip into the reserve. ``reserve`` is 0 for
+  ordinary allocates and 1 for *external* allocates into tail-recursive
+  blocks (the spare-tag rule of Lemma 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import SimulationError
+
+
+class TagPool:
+    """A free list of tags for one tag space (or a shared global one).
+
+    ``honor_ready`` / ``honor_spare`` exist for ablation studies: they
+    disable TYR's ready-gating (Lemma 1) or spare-tag (Lemma 2) rule
+    individually, which reintroduces deadlocks -- evidence that both
+    rules are load-bearing.
+    """
+
+    def __init__(self, name: str, capacity: Optional[int],
+                 gated: bool, honor_ready: bool = True,
+                 honor_spare: bool = True):
+        if capacity is not None and capacity < 1:
+            raise SimulationError(
+                f"tag pool {name!r} needs at least one tag"
+            )
+        self.name = name
+        self.capacity = capacity  # None = unbounded
+        self.gated = gated
+        self.honor_ready = honor_ready
+        self.honor_spare = honor_spare
+        self._free: List[int] = (
+            list(range(capacity - 1, -1, -1)) if capacity is not None
+            else []
+        )
+        self._free_set = set(self._free)
+        self._next = 0  # for unbounded pools
+        self.in_use = 0
+        self.peak_in_use = 0
+        self.total_allocations = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def free_count(self) -> int:
+        if self.capacity is None:
+            return 1 << 60
+        return len(self._free)
+
+    def can_pop(self, ready: bool, spare: bool) -> bool:
+        """May an allocate pop right now?
+
+        ``ready``: the context's ready join has fired. ``spare``: this
+        is an external allocate into a tail-recursive block (one tag
+        must remain in reserve for the backedge).
+        """
+        if self.capacity is None:
+            return True
+        if not self.gated:
+            return len(self._free) >= 1
+        reserve = 1 if (spare and self.honor_spare) else 0
+        if not self.honor_ready:
+            ready = True
+        need = reserve + (1 if ready else 2)
+        return len(self._free) >= need
+
+    def pop(self) -> int:
+        self.total_allocations += 1
+        self.in_use += 1
+        if self.in_use > self.peak_in_use:
+            self.peak_in_use = self.in_use
+        if self.capacity is None:
+            tag = self._next
+            self._next += 1
+            return tag
+        if not self._free:
+            raise SimulationError(f"tag pool {self.name!r} exhausted")
+        tag = self._free.pop()
+        self._free_set.discard(tag)
+        return tag
+
+    def push(self, tag: int) -> None:
+        self.in_use -= 1
+        if self.in_use < 0:
+            raise SimulationError(
+                f"tag pool {self.name!r}: double free of tag {tag}"
+            )
+        if self.capacity is not None:
+            if tag in self._free_set or not 0 <= tag < self.capacity:
+                raise SimulationError(
+                    f"tag pool {self.name!r}: bad free of tag {tag}"
+                )
+            self._free.append(tag)
+            self._free_set.add(tag)
+
+
+@dataclass
+class PoolStats:
+    name: str
+    capacity: Optional[int]
+    peak_in_use: int
+    total_allocations: int
+
+
+class TagPolicy:
+    """Base class: maps tag spaces (block names) to pools."""
+
+    name = "abstract"
+
+    def build_pools(self, blocks: List[str],
+                    overrides: Dict[str, Optional[int]]
+                    ) -> Dict[str, TagPool]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+
+class UnboundedGlobalPolicy(TagPolicy):
+    """Naive unordered dataflow: one unbounded global tag space."""
+
+    name = "unordered"
+
+    def build_pools(self, blocks, overrides):
+        pool = TagPool("<global>", None, gated=False)
+        return {b: pool for b in blocks}
+
+
+class BoundedGlobalPolicy(TagPolicy):
+    """A bounded global tag space with greedy allocation.
+
+    This is the "obvious" way to throttle a tagged dataflow machine and
+    it deadlocks (paper Fig. 11): nothing stops dependent work from
+    claiming the last tag.
+    """
+
+    name = "unordered-bounded"
+
+    def __init__(self, total_tags: int):
+        self.total_tags = total_tags
+
+    def build_pools(self, blocks, overrides):
+        pool = TagPool("<global>", self.total_tags, gated=False)
+        return {b: pool for b in blocks}
+
+    def describe(self) -> str:
+        return f"{self.name}(T={self.total_tags})"
+
+
+class TyrPolicy(TagPolicy):
+    """TYR: one gated local tag space per concurrent block.
+
+    ``tags_per_block`` is the default size; per-block overrides come
+    from the program (loop ``tags=`` annotations, paper Fig. 18) or the
+    ``overrides`` argument (block name -> size).
+    """
+
+    name = "tyr"
+
+    def __init__(self, tags_per_block: int = 64,
+                 overrides: Optional[Dict[str, int]] = None):
+        if tags_per_block < 2:
+            raise SimulationError(
+                "TYR needs at least two tags per concurrent block "
+                "(paper Sec. III)"
+            )
+        self.tags_per_block = tags_per_block
+        self.user_overrides = dict(overrides or {})
+
+    def build_pools(self, blocks, overrides):
+        pools = {}
+        for b in blocks:
+            size = self.user_overrides.get(b)
+            if size is None:
+                size = overrides.get(b)
+            if size is None:
+                size = self.tags_per_block
+            if size < 2:
+                raise SimulationError(
+                    f"TYR needs >= 2 tags per block; {b!r} has {size}"
+                )
+            pools[b] = TagPool(b, size, gated=True)
+        return pools
+
+    def describe(self) -> str:
+        return f"{self.name}(t={self.tags_per_block})"
+
+
+class AblatedTyrPolicy(TyrPolicy):
+    """TYR with one of its allocation rules disabled (ablation only).
+
+    ``drop="ready"`` removes the "pop the last tag only for a ready
+    context" rule (Lemma 1); ``drop="spare"`` removes the tail-
+    recursion reserve (Lemma 2). Either ablation can deadlock, which
+    is the point: the test suite uses this policy to show both rules
+    are necessary, not incidental.
+    """
+
+    def __init__(self, tags_per_block: int = 2, drop: str = "spare"):
+        super().__init__(tags_per_block)
+        if drop not in ("ready", "spare"):
+            raise SimulationError("drop must be 'ready' or 'spare'")
+        self.drop = drop
+        self.name = f"tyr-no{drop}"
+
+    def build_pools(self, blocks, overrides):
+        pools = {}
+        for b in blocks:
+            size = overrides.get(b) or self.tags_per_block
+            pools[b] = TagPool(
+                b, size, gated=True,
+                honor_ready=self.drop != "ready",
+                honor_spare=self.drop != "spare",
+            )
+        return pools
+
+    def describe(self) -> str:
+        return f"{self.name}(t={self.tags_per_block})"
+
+
+class KBoundedPolicy(TagPolicy):
+    """TTDA-style k-bounding: per-block pools, *greedy* allocation.
+
+    Effective for simple (affine innermost) loops but deadlock-prone on
+    general structures -- the paper's Sec. VIII-A discussion baseline.
+    """
+
+    name = "kbounded"
+
+    def __init__(self, tags_per_block: int = 64):
+        self.tags_per_block = tags_per_block
+
+    def build_pools(self, blocks, overrides):
+        pools = {}
+        for b in blocks:
+            size = overrides.get(b) or self.tags_per_block
+            pools[b] = TagPool(b, size, gated=False)
+        return pools
+
+    def describe(self) -> str:
+        return f"{self.name}(k={self.tags_per_block})"

@@ -1,0 +1,17 @@
+"""Data-parallel (vector/GPU-style) machine model (paper Sec. II-C,
+Fig. 5f).
+
+Data-parallel architectures execute one instruction across many lanes,
+choosing how much parallelism to realize -- but only for loops with an
+embarrassingly parallel structure. The model vectorizes innermost
+counted loops whose carried values are inductions, invariants, or
+reductions; everything else (data-dependent trip counts feeding
+irregular work, serial chains, nested spawns) falls back to sequential
+execution. That *scope limitation* is exactly the paper's point: this
+strategy is only safe when each lane does independent work.
+"""
+
+from repro.sim.vector.engine import DataParallelEngine
+from repro.sim.vector.analysis import VectorInfo, classify_loop
+
+__all__ = ["DataParallelEngine", "VectorInfo", "classify_loop"]

@@ -1,0 +1,191 @@
+"""Vectorizability analysis for loop blocks.
+
+A LOOP block is vectorizable when a classic vector machine could run
+its iterations in lock-step lanes:
+
+* it contains no transfer points (no nested loops or calls);
+* it carries no memory-order token (a cross-iteration store chain is a
+  serial dependence);
+* each carried value is an **induction** (``p' = p + const``), an
+  **invariant** (``p' = p``), or a **reduction** (``p' = p OP x`` for
+  associative OP with ``x`` independent of ``p``);
+* the loop decider is an affine bound test on the induction variable,
+  so the trip count is known at loop entry.
+
+Everything else -- the irregular loops of the sparse/graph workloads --
+is rejected, which is the scope limitation the paper contrasts
+data-parallel architectures against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.frontend.analysis import is_ord_var
+from repro.ir.ops import Op
+from repro.ir.program import (
+    BlockDef,
+    BlockKind,
+    Lit,
+    LoopTerm,
+    Param,
+    Res,
+    ValueRef,
+)
+
+#: Associative/commutative reduction opcodes.
+REDUCTION_OPS = {Op.ADD, Op.MUL, Op.MIN, Op.MAX, Op.BAND, Op.BOR,
+                 Op.BXOR}
+
+
+@dataclass
+class CarriedRole:
+    kind: str  # "induction" | "invariant" | "reduction"
+    #: Induction step (induction only).
+    step: Optional[int] = None
+    #: Reduction opcode (reduction only).
+    op: Optional[Op] = None
+
+
+@dataclass
+class VectorInfo:
+    """How a vectorizable loop executes on the vector machine."""
+
+    block: str
+    roles: List[CarriedRole]
+    induction_index: int
+    #: The decider is ``induction_next < bound``; bound is this ref
+    #: (an invariant param or literal).
+    bound_ref: ValueRef
+    #: Instructions per iteration (the vector body length).
+    body_ops: int
+
+
+def _param_deps(block: BlockDef) -> Dict[int, Set[int]]:
+    """For each op, which params its value transitively depends on."""
+    deps: Dict[int, Set[int]] = {}
+    for op in block.ops:
+        acc: Set[int] = set()
+        for ref in op.inputs:
+            if isinstance(ref, Param):
+                acc.add(ref.index)
+            elif isinstance(ref, Res):
+                acc |= deps.get(ref.op_id, set())
+        deps[op.op_id] = acc
+    return deps
+
+
+def _ref_param_deps(ref: ValueRef, deps: Dict[int, Set[int]]) -> Set[int]:
+    if isinstance(ref, Param):
+        return {ref.index}
+    if isinstance(ref, Res):
+        return deps.get(ref.op_id, set())
+    return set()
+
+
+def classify_loop(block: BlockDef) -> Optional[VectorInfo]:
+    """Return a :class:`VectorInfo` if ``block`` is vectorizable."""
+    if block.kind is not BlockKind.LOOP:
+        return None
+    term = block.terminator
+    assert isinstance(term, LoopTerm)
+    if any(op.op is Op.SPAWN for op in block.ops):
+        return None  # nested work diverges per lane
+    for i, name in enumerate(block.param_names):
+        if is_ord_var(name):
+            return None  # serial memory chain
+
+    deps = _param_deps(block)
+    roles: List[CarriedRole] = []
+    inductions: List[int] = []
+    for i, ref in enumerate(term.next_args):
+        role = _classify_carry(block, i, ref, deps)
+        if role is None:
+            return None
+        roles.append(role)
+        if role.kind == "induction":
+            inductions.append(i)
+
+    decider = _match_bound_test(block, term.decider, roles, deps)
+    if decider is None:
+        return None
+    induction_index, bound_ref = decider
+    return VectorInfo(
+        block=block.name,
+        roles=roles,
+        induction_index=induction_index,
+        bound_ref=bound_ref,
+        body_ops=len(block.ops),
+    )
+
+
+def _classify_carry(block: BlockDef, index: int, ref: ValueRef,
+                    deps: Dict[int, Set[int]]) -> Optional[CarriedRole]:
+    if isinstance(ref, Param) and ref.index == index:
+        return CarriedRole("invariant")
+    if not isinstance(ref, Res):
+        return None
+    producer = block.ops[ref.op_id]
+    if producer.op is Op.ADD and _is_step(producer, index):
+        step = _step_value(producer, index)
+        if step is not None:
+            return CarriedRole("induction", step=step)
+    if producer.op in REDUCTION_OPS:
+        lhs, rhs = producer.inputs
+        for mine, other in ((lhs, rhs), (rhs, lhs)):
+            if (isinstance(mine, Param) and mine.index == index
+                    and index not in _ref_param_deps(other, deps)):
+                return CarriedRole("reduction", op=producer.op)
+    return None
+
+
+def _is_step(op, index: int) -> bool:
+    lhs, rhs = op.inputs
+    return (
+        (isinstance(lhs, Param) and lhs.index == index
+         and isinstance(rhs, Lit))
+        or (isinstance(rhs, Param) and rhs.index == index
+            and isinstance(lhs, Lit))
+    )
+
+
+def _step_value(op, index: int) -> Optional[int]:
+    lhs, rhs = op.inputs
+    lit = rhs if isinstance(rhs, Lit) else lhs
+    if isinstance(lit.value, int) and lit.value > 0:
+        return lit.value
+    return None
+
+
+def _match_bound_test(block: BlockDef, decider: ValueRef,
+                      roles: List[CarriedRole],
+                      deps: Dict[int, Set[int]]
+                      ) -> Optional[Tuple[int, ValueRef]]:
+    """Match ``decider == LT(next_induction, bound)`` with an invariant
+    bound; returns (induction param index, bound ref)."""
+    if not isinstance(decider, Res):
+        return None
+    cmp_op = block.ops[decider.op_id]
+    if cmp_op.op is not Op.LT:
+        return None
+    nxt, bound = cmp_op.inputs
+    if not isinstance(nxt, Res):
+        return None
+    add_op = block.ops[nxt.op_id]
+    if add_op.op is not Op.ADD:
+        return None
+    for ref in add_op.inputs:
+        if isinstance(ref, Param):
+            idx = ref.index
+            if idx < len(roles) and roles[idx].kind == "induction":
+                if _is_invariant_ref(bound, roles):
+                    return idx, bound
+    return None
+
+
+def _is_invariant_ref(ref: ValueRef, roles: List[CarriedRole]) -> bool:
+    if isinstance(ref, Lit):
+        return True
+    return (isinstance(ref, Param) and ref.index < len(roles)
+            and roles[ref.index].kind == "invariant")

@@ -1,0 +1,282 @@
+"""Execution engine for the data-parallel (vector) machine model.
+
+Execution is depth-first like a von Neumann machine, except that
+vectorizable innermost loops (see :mod:`repro.sim.vector.analysis`)
+run their iterations in lock-step lanes: each body instruction issues
+across up to ``lanes`` iterations per cycle, so a T-iteration loop of
+B instructions costs ``ceil(T / lanes) * B`` cycles (plus a
+logarithmic reduction-tree step per reduction carry), instead of
+``T * B``.
+
+Semantics are exact (the engine interprets every iteration); only the
+*timing and live-state accounting* are idealized, in keeping with the
+paper's single-cycle methodology. Live state during a vector section
+is ``active_lanes x live-values-per-iteration`` -- the vector register
+footprint -- which is how data-parallel machines "choose as much
+parallelism as they want" while bounding state (paper Sec. II-C).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.ir.ops import OP_INFO, Op
+from repro.ir.program import (
+    BlockDef,
+    BlockKind,
+    ContextProgram,
+    IfRegion,
+    Lit,
+    LoopTerm,
+    Param,
+    Region,
+    Res,
+    ReturnTerm,
+    ValueRef,
+)
+from repro.sim.latency import load_delay
+from repro.sim.memory import Memory
+from repro.sim.metrics import ExecutionResult, MetricsRecorder
+from repro.sim.vector.analysis import VectorInfo, classify_loop
+
+
+class DataParallelEngine:
+    """Vector/SIMT-style executor over the context IR."""
+
+    def __init__(self, program: ContextProgram, memory: Memory,
+                 lanes: int = 128, sample_traces: bool = True,
+                 load_latency: int = 1,
+                 max_cycles: int = 500_000_000):
+        if lanes < 1:
+            raise SimulationError("lanes must be >= 1")
+        self.program = program
+        self.memory = memory
+        self.lanes = lanes
+        #: Scalar loads stall the pipeline for their latency; vector
+        #: sections assume pipelined (overlapped) memory, as classic
+        #: vector machines do.
+        self.load_latency = load_latency
+        self.max_cycles = max_cycles
+        self.metrics = MetricsRecorder(sample_traces=sample_traces)
+        self.vector_info: Dict[str, Optional[VectorInfo]] = {
+            name: classify_loop(block)
+            for name, block in program.blocks.items()
+        }
+        #: Idealized scalar working set (a handful of registers), like
+        #: the vN model's measured live state.
+        self._scalar_live = 12
+        #: How many loops ran vectorized vs scalar (reported).
+        self.vectorized_trips = 0
+        self.scalar_trips = 0
+
+    # ------------------------------------------------------------------
+    def run(self, args: List[object]) -> ExecutionResult:
+        entry = self.program.entry_block()
+        if len(args) != entry.n_params:
+            raise SimulationError(
+                f"entry takes {entry.n_params} args, got {len(args)}"
+            )
+        results = self._exec_block(entry, list(args))
+        extra = {
+            "lanes": self.lanes,
+            "vectorized_trips": self.vectorized_trips,
+            "scalar_trips": self.scalar_trips,
+            "vectorizable_loops": sorted(
+                name for name, info in self.vector_info.items()
+                if info is not None
+            ),
+        }
+        return self.metrics.result("datapar", True, tuple(results),
+                                   extra)
+
+    # ------------------------------------------------------------------
+    # Sequential (scalar) execution with per-op cycle accounting
+    # ------------------------------------------------------------------
+    def _tick(self, fired: int, live: int) -> None:
+        self.metrics.sample(fired, live)
+        if self.metrics.cycles > self.max_cycles:
+            raise SimulationError(
+                f"exceeded max_cycles={self.max_cycles}"
+            )
+
+    def _exec_block(self, block: BlockDef,
+                    args: List[object]) -> List[object]:
+        while True:
+            env: Dict[Tuple[int, int], object] = {}
+            self._exec_region(block, block.region, args, env)
+            term = block.terminator
+            if isinstance(term, ReturnTerm):
+                return [self._read(block, args, env, r)
+                        for r in term.results]
+            assert isinstance(term, LoopTerm)
+            if self._read(block, args, env, term.decider):
+                args = [self._read(block, args, env, r)
+                        for r in term.next_args]
+                continue
+            return [self._read(block, args, env, r)
+                    for r in term.results]
+
+    def _exec_region(self, block: BlockDef, region: Region,
+                     args: List[object],
+                     env: Dict[Tuple[int, int], object]) -> None:
+        for item in region.items:
+            if isinstance(item, IfRegion):
+                taken = self._read(block, args, env, item.decider)
+                side = item.then_region if taken else item.else_region
+                self._exec_region(block, side, args, env)
+            else:
+                self._exec_op(block, block.ops[item], args, env)
+
+    def _exec_op(self, block: BlockDef, op, args: List[object],
+                 env: Dict[Tuple[int, int], object]) -> None:
+        read = lambda r: self._read(block, args, env, r)  # noqa: E731
+        if op.op is Op.SPAWN:
+            callee = self.program.block(op.attrs["callee"])
+            call_args = [read(r) for r in op.inputs]
+            info = (self.vector_info.get(callee.name)
+                    if callee.kind is BlockKind.LOOP else None)
+            if info is not None:
+                results = self._exec_vector_loop(callee, info,
+                                                 call_args)
+            else:
+                if callee.kind is BlockKind.LOOP:
+                    self.scalar_trips += 1
+                results = self._exec_block(callee, call_args)
+            for port, value in enumerate(results):
+                env[(op.op_id, port)] = value
+            return
+
+        # Scalar instruction: one cycle, one issue slot.
+        self._tick(1, self._scalar_live)
+        info = OP_INFO[op.op]
+        if info.pure:
+            env[(op.op_id, 0)] = info.evaluate(
+                *(read(r) for r in op.inputs)
+            )
+        elif op.op is Op.LOAD:
+            index = read(op.inputs[0])
+            env[(op.op_id, 0)] = self.memory.load(
+                op.attrs["array"], index
+            )
+            env[(op.op_id, 1)] = 0
+            for _ in range(load_delay(self.load_latency,
+                                      op.attrs["array"], index) - 1):
+                self._tick(0, self._scalar_live)
+        elif op.op is Op.STORE:
+            self.memory.store(op.attrs["array"], read(op.inputs[0]),
+                              read(op.inputs[1]))
+            env[(op.op_id, 0)] = 0
+        elif op.op is Op.STEER:
+            env[(op.op_id, 0)] = read(op.inputs[1])
+            env[(op.op_id, 1)] = 0
+        elif op.op is Op.MERGE:
+            taken = read(op.inputs[0])
+            env[(op.op_id, 0)] = read(
+                op.inputs[1] if taken else op.inputs[2]
+            )
+        else:
+            raise SimulationError(f"cannot execute {op.op.value}")
+
+    def _read(self, block: BlockDef, args: List[object],
+              env: Dict[Tuple[int, int], object],
+              ref: ValueRef) -> object:
+        if isinstance(ref, Lit):
+            return ref.value
+        if isinstance(ref, Param):
+            return args[ref.index]
+        value = env.get((ref.op_id, ref.port))
+        if value is None and (ref.op_id, ref.port) not in env:
+            raise SimulationError(
+                f"{block.name}: read of unevaluated {ref}"
+            )
+        return value
+
+    # ------------------------------------------------------------------
+    # Vectorized loop execution
+    # ------------------------------------------------------------------
+    def _exec_vector_loop(self, block: BlockDef, info: VectorInfo,
+                          args: List[object]) -> List[object]:
+        """Run all iterations semantically; account cycles in lock-step
+        batches of ``lanes`` iterations."""
+        self.vectorized_trips += 1
+        term = block.terminator
+        assert isinstance(term, LoopTerm)
+        iterations = 0
+        cur = list(args)
+        # Execute exactly (semantics identical to the scalar loop).
+        values_snapshots: List[List[object]] = []
+        while True:
+            env: Dict[Tuple[int, int], object] = {}
+            self._exec_region_silent(block, block.region, cur, env)
+            iterations += 1
+            if self._read(block, cur, env, term.decider):
+                cur = [self._read(block, cur, env, r)
+                       for r in term.next_args]
+                continue
+            results = [self._read(block, cur, env, r)
+                       for r in term.results]
+            break
+
+        # Timing model: each batch of `lanes` iterations issues the
+        # body one instruction per cycle across all active lanes.
+        body = max(info.body_ops, 1)
+        remaining = iterations
+        n_reductions = sum(1 for r in info.roles
+                           if r.kind == "reduction")
+        while remaining > 0:
+            active = min(remaining, self.lanes)
+            live = active * max(2, body // 2)
+            for _ in range(body):
+                self._tick(active, live)
+            remaining -= active
+        # Reduction tree across lanes per reduction carry.
+        if n_reductions and iterations > 1:
+            depth = max(1, math.ceil(math.log2(min(iterations,
+                                                   self.lanes))))
+            for _ in range(depth * n_reductions):
+                self._tick(min(iterations, self.lanes) // 2 or 1,
+                           min(iterations, self.lanes))
+        return results
+
+    def _exec_region_silent(self, block: BlockDef, region: Region,
+                            args: List[object],
+                            env: Dict[Tuple[int, int], object]) -> None:
+        """Evaluate a vector-body region without per-op ticks (timing
+        is accounted in batches by the caller)."""
+        for item in region.items:
+            if isinstance(item, IfRegion):
+                taken = self._read(block, args, env, item.decider)
+                side = item.then_region if taken else item.else_region
+                self._exec_region_silent(block, side, args, env)
+                continue
+            op = block.ops[item]
+            read = lambda r: self._read(block, args, env, r)  # noqa
+            info = OP_INFO[op.op]
+            if info.pure:
+                env[(op.op_id, 0)] = info.evaluate(
+                    *(read(r) for r in op.inputs)
+                )
+            elif op.op is Op.LOAD:
+                env[(op.op_id, 0)] = self.memory.load(
+                    op.attrs["array"], read(op.inputs[0])
+                )
+                env[(op.op_id, 1)] = 0
+            elif op.op is Op.STORE:
+                self.memory.store(op.attrs["array"],
+                                  read(op.inputs[0]),
+                                  read(op.inputs[1]))
+                env[(op.op_id, 0)] = 0
+            elif op.op is Op.STEER:
+                env[(op.op_id, 0)] = read(op.inputs[1])
+                env[(op.op_id, 1)] = 0
+            elif op.op is Op.MERGE:
+                taken = read(op.inputs[0])
+                env[(op.op_id, 0)] = read(
+                    op.inputs[1] if taken else op.inputs[2]
+                )
+            else:
+                raise SimulationError(
+                    f"cannot execute {op.op.value} in a vector body"
+                )

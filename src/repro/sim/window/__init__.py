@@ -1,0 +1,17 @@
+"""Block-window machines (paper Sec. II-C).
+
+Sequential architectures order execution along the dynamic block
+(hyperblock/wave) sequence. The engine fetches *slices* of concurrent
+blocks in depth-first (von Neumann) order, keeps at most ``window`` of
+them in flight executing internally by the dataflow firing rule, and
+retires them in order. Fetch stalls until the control flow that decides
+the next slice resolves -- the paper's "instructions must wait for
+their turn in the global block-order" (WaveScalar/TRIPS behavior).
+
+* ``window=1, width=1`` models a sequential von Neumann CPU (1 IPC).
+* ``window=k, width=W`` models sequential dataflow.
+"""
+
+from repro.sim.window.engine import WindowEngine
+
+__all__ = ["WindowEngine"]

@@ -1,0 +1,455 @@
+"""Execution engine for block-window machines (vN, sequential dataflow).
+
+The fetcher walks the dynamic context tree depth-first -- the von
+Neumann order -- stalling whenever the next fetch target depends on an
+unresolved decider (a conditional transfer point or a loop backedge).
+Fetched slices execute internally by the dataflow firing rule with a
+shared issue width, and retire strictly in fetch order; at most
+``window`` slices may be in flight.
+
+Only *control* gates fetch: data values flow to in-flight blocks as
+they are produced, via per-value subscriptions (the analog of
+WaveScalar forwarding live values between waves). This is what lets
+consecutive loop iterations pipeline inside the window while still
+being fundamentally limited to the block-order window -- the behavior
+the paper describes for sequential dataflow (Fig. 5c).
+
+``window=1, width=1`` degenerates to a sequential von Neumann machine.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+from repro.errors import DeadlockError, SimulationError
+from repro.ir.ops import OP_INFO, Op
+from repro.ir.program import BlockKind, ContextProgram, Lit
+from repro.sim.latency import load_delay
+from repro.sim.memory import Memory
+from repro.sim.metrics import ExecutionResult, MetricsRecorder
+from repro.sim.window.plan import BlockPlan, Key, build_plans, ref_key
+
+
+class _Instance:
+    """One dynamic context (block activation)."""
+
+    __slots__ = ("iid", "plan", "env", "fetched", "armed", "subs",
+                 "term_fired", "term_decision", "parent", "parent_spawn",
+                 "live_slices", "done", "delivered")
+
+    def __init__(self, iid: int, plan: BlockPlan,
+                 parent: Optional["_Instance"], parent_spawn: Optional[int]):
+        self.iid = iid
+        self.plan = plan
+        self.env: Dict[Key, object] = {}
+        self.fetched: Set[int] = set()
+        self.armed: Set[int] = set()
+        #: key -> list of (target instance, target key): forward the
+        #: value when it is published here.
+        self.subs: Dict[Key, List[Tuple["_Instance", Key]]] = {}
+        self.term_fired = False
+        self.term_decision: object = None
+        self.parent = parent
+        self.parent_spawn = parent_spawn
+        self.live_slices = 0
+        self.done = False
+        self.delivered = False
+
+
+class WindowEngine:
+    """Simulates vN (window=1,width=1) or sequential dataflow."""
+
+    def __init__(self, program: ContextProgram, memory: Memory,
+                 window: int = 8, issue_width: int = 128,
+                 fetch_width: Optional[int] = None,
+                 sample_traces: bool = True,
+                 load_latency: int = 1,
+                 max_cycles: int = 500_000_000,
+                 machine_name: Optional[str] = None):
+        if window < 1:
+            raise SimulationError("window must be >= 1")
+        self.program = program
+        self.memory = memory
+        self.window = window
+        self.issue_width = issue_width
+        self.fetch_width = fetch_width if fetch_width else window
+        self.load_latency = load_latency
+        self.max_cycles = max_cycles
+        self.machine_name = machine_name or (
+            "vn" if window == 1 and issue_width == 1 else "seqdf"
+        )
+        self.metrics = MetricsRecorder(sample_traces=sample_traces)
+        self.plans = build_plans(program)
+
+        self._next_iid = 0
+        self._wait: Dict[Tuple[int, int], Dict[int, object]] = {}
+        self._instances: Dict[int, _Instance] = {}
+        self._ready: Deque[Tuple[_Instance, int]] = deque()
+        self._pending: List[Tuple[_Instance, int, int, object]] = []
+        self._retire: Deque[Tuple[_Instance, int]] = deque()
+        self._stack: List[List] = []  # [instance, item index]
+        self._live = 0
+        self._program_results: Dict[int, object] = {}
+        self._n_program_results = 0
+        #: cycle index -> [(instance, key, value)] loads in flight.
+        self._delayed: Dict[int, List[Tuple]] = {}
+        # Fetch-stall accounting (why the block order limits
+        # parallelism): cycles the fetcher was blocked on an
+        # unresolved decider vs. a full window.
+        self._stall_decider = 0
+        self._stall_window = 0
+
+    # ------------------------------------------------------------------
+    def run(self, args: List[object]) -> ExecutionResult:
+        entry_plan = self.plans[self.program.entry]
+        if len(args) != entry_plan.n_params:
+            raise SimulationError(
+                f"entry takes {entry_plan.n_params} args, got {len(args)}"
+            )
+        self._n_program_results = len(entry_plan.result_refs)
+        root = self._make_instance(entry_plan, None, None)
+        for i, value in enumerate(args):
+            self._publish(root, ("p", i), value)
+        # Root result delivery: straight to the program-result table.
+        self._register_results(root)
+        self._stack.append([root, 0])
+
+        completed = False
+        while True:
+            fired = self._run_cycle()
+            progressed = self._retire_slices()
+            for _ in range(self.fetch_width):
+                if not self._fetch():
+                    break
+                progressed = True
+            self._apply_pending()
+            if fired == 0 and not progressed and not self._ready:
+                if self._delayed:
+                    self.metrics.sample(0, self._live)
+                    continue
+                if self._is_finished():
+                    completed = True
+                    break
+                self._raise_deadlock()
+            self.metrics.sample(fired, self._live)
+            if self.metrics.cycles >= self.max_cycles:
+                raise SimulationError(
+                    f"exceeded max_cycles={self.max_cycles}"
+                )
+
+        results = tuple(
+            self._program_results.get(i)
+            for i in range(self._n_program_results)
+        )
+        extra = {"window": self.window, "issue_width": self.issue_width,
+                 "fetch_width": self.fetch_width,
+                 "fetch_stall_decider_cycles": self._stall_decider,
+                 "fetch_stall_window_cycles": self._stall_window}
+        return self.metrics.result(self.machine_name, completed, results,
+                                   extra)
+
+    def _is_finished(self) -> bool:
+        return (not self._stack and not self._retire
+                and not self._pending and not self._delayed
+                and self._live == 0)
+
+    def _raise_deadlock(self) -> None:
+        stuck = [(entry[0].plan.name, entry[1])
+                 for entry in self._stack[-4:]]
+        raise DeadlockError(
+            f"window machine stalled: live={self._live}, "
+            f"in-flight slices={len(self._retire)}, stack tail={stuck}"
+        )
+
+    # ------------------------------------------------------------------
+    # Instances, publication, and subscriptions
+    # ------------------------------------------------------------------
+    def _make_instance(self, plan: BlockPlan, parent: Optional[_Instance],
+                       parent_spawn: Optional[int]) -> _Instance:
+        inst = _Instance(self._next_iid, plan, parent, parent_spawn)
+        self._next_iid += 1
+        self._instances[inst.iid] = inst
+        return inst
+
+    def _publish(self, inst: _Instance, key: Key, value: object) -> None:
+        """Record a value and forward it to consumers and subscribers."""
+        inst.env[key] = value
+        for dest_op, dest_port in inst.plan.consumers.get(key, ()):
+            self._pending.append((inst, dest_op, dest_port, value))
+            self._live += 1
+        for target, target_key in inst.subs.pop(key, ()):
+            self._forward(target, target_key, value)
+
+    def _forward(self, target, target_key: Key, value: object) -> None:
+        if isinstance(target, _Instance):
+            self._publish(target, target_key, value)
+        else:  # ("program", index)
+            self._program_results[target_key] = value
+
+    def _bind(self, src_inst: _Instance, ref, target, target_key) -> None:
+        """Deliver the value of ``ref`` (evaluated in ``src_inst``) to
+        ``target``/``target_key``, now or when it becomes available."""
+        if isinstance(ref, Lit):
+            self._forward(target, target_key, ref.value)
+            return
+        key = ref_key(ref)
+        if key in src_inst.env:
+            self._forward(target, target_key, src_inst.env[key])
+        else:
+            src_inst.subs.setdefault(key, []).append((target, target_key))
+
+    def _register_results(self, inst: _Instance) -> None:
+        """Arrange delivery of ``inst``'s results to its parent (or the
+        program-result table). For loops this is called on the exiting
+        iteration only."""
+        if inst.delivered:
+            return
+        inst.delivered = True
+        parent = inst.parent
+        for j, ref in enumerate(inst.plan.result_refs):
+            if parent is None:
+                self._bind(inst, ref, "program", j)
+            else:
+                self._bind_result_to_parent(inst, ref, parent, j)
+
+    def _bind_result_to_parent(self, inst: _Instance, ref,
+                               parent: _Instance, j: int) -> None:
+        key = (inst.parent_spawn, j)
+        if isinstance(ref, Lit):
+            self._publish(parent, key, ref.value)
+            return
+        src_key = ref_key(ref)
+        if src_key in inst.env:
+            self._publish(parent, key, inst.env[src_key])
+        else:
+            inst.subs.setdefault(src_key, []).append((parent, key))
+
+    # ------------------------------------------------------------------
+    # Firing
+    # ------------------------------------------------------------------
+    def _run_cycle(self) -> int:
+        fired = 0
+        budget = self.issue_width
+        ready = self._ready
+        while ready and budget > 0:
+            inst, op_id = ready.popleft()
+            self._fire(inst, op_id)
+            fired += 1
+            budget -= 1
+        return fired
+
+    def _apply_pending(self) -> None:
+        matured = self._delayed.pop(self.metrics.cycles, None)
+        if matured:
+            for inst, key, value in matured:
+                self._publish(inst, key, value)
+        pending = self._pending
+        self._pending = []
+        for inst, op_id, port, value in pending:
+            self._deposit(inst, op_id, port, value)
+
+    def _deposit(self, inst: _Instance, op_id: int, port: int,
+                 value: object) -> None:
+        plan = inst.plan.op(op_id)
+        key = (inst.iid, op_id)
+        entry = self._wait.get(key)
+        if entry is None:
+            entry = {}
+            self._wait[key] = entry
+        entry[port] = value
+        if self._fire_condition(plan, entry):
+            if plan.slice_index in inst.fetched:
+                self._ready.append((inst, op_id))
+            else:
+                inst.armed.add(op_id)
+
+    @staticmethod
+    def _fire_condition(plan, entry: Dict[int, object]) -> bool:
+        if plan.op is Op.MERGE:
+            if 0 not in entry:
+                return False
+            want = 1 if entry[0] else 2
+            return want in entry or want not in plan.token_ports
+        return len(entry) == len(plan.token_ports)
+
+    def _fire(self, inst: _Instance, op_id: int) -> None:
+        plan = inst.plan.op(op_id)
+        entry = self._wait.pop((inst.iid, op_id), {})
+        self._live -= len(entry)
+        op = plan.op
+
+        if op_id == inst.plan.term_id:
+            inst.term_fired = True
+            inst.term_decision = (
+                entry[0] if 0 in entry else plan.inputs[0].value
+            )
+            return
+        if op is Op.MERGE:
+            d = entry[0]
+            chosen = 1 if d else 2
+            value = (entry[chosen] if chosen in entry
+                     else plan.inputs[chosen].value)
+            self._publish(inst, (op_id, 0), value)
+            return
+        inputs = self._gather(plan, entry)
+        if op is Op.STEER:
+            if bool(inputs[0]) == bool(plan.attrs["sense"]):
+                self._publish(inst, (op_id, 0), inputs[1])
+            self._publish(inst, (op_id, 1), 0)
+        elif op is Op.LOAD:
+            value = self.memory.load(plan.attrs["array"], inputs[0])
+            delay = load_delay(self.load_latency,
+                               plan.attrs["array"], inputs[0])
+            if delay <= 1:
+                self._publish(inst, (op_id, 0), value)
+                self._publish(inst, (op_id, 1), 0)
+            else:
+                due = self.metrics.cycles + delay - 1
+                bucket = self._delayed.setdefault(due, [])
+                bucket.append((inst, (op_id, 0), value))
+                bucket.append((inst, (op_id, 1), 0))
+        elif op is Op.STORE:
+            self.memory.store(plan.attrs["array"], inputs[0], inputs[1])
+            self._publish(inst, (op_id, 0), 0)
+        else:
+            info = OP_INFO[op]
+            if not info.pure:
+                raise SimulationError(f"cannot execute {op.value}")
+            self._publish(inst, (op_id, 0), info.evaluate(*inputs))
+
+    @staticmethod
+    def _gather(plan, entry: Dict[int, object]) -> List[object]:
+        out = []
+        for port, ref in enumerate(plan.inputs):
+            if port in entry:
+                out.append(entry[port])
+            else:
+                out.append(ref.value)  # Lit
+        return out
+
+    # ------------------------------------------------------------------
+    # Guard resolution
+    # ------------------------------------------------------------------
+    def _op_status(self, inst: _Instance, op_id: int) -> str:
+        plan = inst.plan.op(op_id)
+        if op_id == inst.plan.term_id:
+            return "fired" if inst.term_fired else "pending"
+        if (op_id, 0) in inst.env or (op_id, 1) in inst.env:
+            return "fired"
+        if self._guard_taken(inst, plan.guard) is False:
+            return "untaken"
+        return "pending"
+
+    @staticmethod
+    def _guard_taken(inst: _Instance, guard) -> Optional[bool]:
+        result: Optional[bool] = True
+        for key, sense in guard:
+            if key not in inst.env:
+                result = None
+                continue
+            if bool(inst.env[key]) != sense:
+                return False
+        return result
+
+    # ------------------------------------------------------------------
+    # Retirement
+    # ------------------------------------------------------------------
+    def _retire_slices(self) -> bool:
+        progressed = False
+        while self._retire:
+            inst, slice_idx = self._retire[0]
+            if not self._slice_complete(inst, slice_idx):
+                break
+            self._retire.popleft()
+            inst.live_slices -= 1
+            progressed = True
+            self._maybe_release(inst)
+        return progressed
+
+    def _slice_complete(self, inst: _Instance, slice_idx: int) -> bool:
+        for op_id in inst.plan.slices[slice_idx]:
+            if self._op_status(inst, op_id) == "pending":
+                return False
+        return True
+
+    def _maybe_release(self, inst: _Instance) -> None:
+        # Pending subscriptions keep the object alive through Python
+        # references from the producing chain; dropping it here only
+        # bounds the bookkeeping table.
+        if inst.done and inst.live_slices == 0:
+            self._instances.pop(inst.iid, None)
+
+    # ------------------------------------------------------------------
+    # Fetch (the von Neumann block order)
+    # ------------------------------------------------------------------
+    def _fetch(self) -> bool:
+        if not self._stack:
+            return False
+        if len(self._retire) >= self.window:
+            self._stall_window += 1
+            return False
+        top = self._stack[-1]
+        inst, idx = top
+        plan = inst.plan
+        if idx >= len(plan.items):
+            return self._finish_instance(top)
+        kind, payload = plan.items[idx]
+        if kind == "slice":
+            self._fetch_slice(inst, payload)
+            top[1] = idx + 1
+            return True
+        # A transfer point: stall until its control guard resolves.
+        op_plan = plan.op(payload)
+        taken = self._guard_taken(inst, op_plan.guard)
+        if taken is None:
+            self._stall_decider += 1
+            return False
+        top[1] = idx + 1
+        if taken is False:
+            return True
+        callee_plan = self.plans[op_plan.callee]
+        child = self._make_instance(callee_plan, inst, payload)
+        for i, ref in enumerate(op_plan.inputs):
+            self._bind(inst, ref, child, ("p", i))
+        self._stack.append([child, 0])
+        return True
+
+    def _fetch_slice(self, inst: _Instance, slice_idx: int) -> None:
+        inst.fetched.add(slice_idx)
+        inst.live_slices += 1
+        self._retire.append((inst, slice_idx))
+        for op_id in inst.plan.slices[slice_idx]:
+            if op_id in inst.armed:
+                inst.armed.discard(op_id)
+                self._ready.append((inst, op_id))
+            elif not inst.plan.ops[op_id].token_ports:
+                # Only-literal inputs (loop term with literal decider).
+                self._ready.append((inst, op_id))
+
+    def _finish_instance(self, top: List) -> bool:
+        inst: _Instance = top[0]
+        plan = inst.plan
+        if plan.kind is BlockKind.DAG:
+            self._register_results(inst)
+            inst.done = True
+            self._stack.pop()
+            self._maybe_release(inst)
+            return True
+        # Loop: wait for the backedge decider (wave-order stall).
+        if not inst.term_fired:
+            self._stall_decider += 1
+            return False
+        inst.done = True
+        if inst.term_decision:
+            nxt = self._make_instance(plan, inst.parent, inst.parent_spawn)
+            for i, ref in enumerate(plan.next_arg_refs):
+                self._bind(inst, ref, nxt, ("p", i))
+            top[0] = nxt
+            top[1] = 0
+            self._maybe_release(inst)
+            return True
+        self._register_results(inst)
+        self._stack.pop()
+        self._maybe_release(inst)
+        return True

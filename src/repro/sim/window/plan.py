@@ -1,0 +1,168 @@
+"""Static per-block execution plans for the window engine.
+
+A block's dynamic instruction stream is split into *slices* at SPAWN
+boundaries: ops between two transfer points form one fetch unit (the
+analog of a WaveScalar wave / TRIPS hyperblock). Transfer points
+themselves are fetch items, not instructions: fetch descends into the
+callee once the spawn's control guard resolves -- *data* arguments
+flow to the child as they are produced (only control gates the block
+order, as in WaveScalar).
+
+The plan also precomputes consumer lists, token ports, per-op control
+guards, and (for loops) a terminator pseudo-op that consumes the loop
+decider.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.ir.ops import Op
+from repro.ir.program import (
+    BlockDef,
+    BlockKind,
+    ContextProgram,
+    Lit,
+    LoopTerm,
+    Param,
+    Res,
+    ReturnTerm,
+    ValueRef,
+)
+
+#: Environment key for a value: ("p", i) for params, (op_id, port) else.
+Key = Tuple
+
+#: Plan items: ("slice", index) or ("spawn", op_id).
+Item = Tuple[str, int]
+
+
+def ref_key(ref: ValueRef) -> Optional[Key]:
+    if isinstance(ref, Lit):
+        return None
+    if isinstance(ref, Param):
+        return ("p", ref.index)
+    return (ref.op_id, ref.port)
+
+
+@dataclass
+class OpPlan:
+    op_id: int
+    op: Op
+    inputs: Tuple[ValueRef, ...]
+    token_ports: Tuple[int, ...]
+    guard: Tuple[Tuple[Optional[Key], bool], ...]
+    slice_index: int
+    attrs: Dict[str, object]
+    is_spawn: bool = False
+    callee: Optional[str] = None
+
+
+@dataclass
+class BlockPlan:
+    name: str
+    kind: BlockKind
+    n_params: int
+    ops: List[OpPlan]
+    #: Loop decider pseudo-op id (None for DAG blocks).
+    term_id: Optional[int]
+    #: Loop carried-value refs (next iteration's arguments).
+    next_arg_refs: Tuple[ValueRef, ...]
+    #: Return-value refs.
+    result_refs: Tuple[ValueRef, ...]
+    #: value key -> list of (op_id, port) consumers (term included;
+    #: spawns excluded -- their args flow by subscription).
+    consumers: Dict[Key, List[Tuple[int, int]]]
+    items: List[Item]
+    slices: List[List[int]]
+
+    def op(self, op_id: int) -> OpPlan:
+        return self.ops[op_id]
+
+
+def build_plans(program: ContextProgram) -> Dict[str, BlockPlan]:
+    return {name: _plan_block(block)
+            for name, block in program.blocks.items()}
+
+
+def _plan_block(block: BlockDef) -> BlockPlan:
+    guards_raw = block.guard_chain()
+    term = block.terminator
+    if isinstance(term, LoopTerm):
+        next_arg_refs = term.next_args
+        result_refs = term.results
+    else:
+        assert isinstance(term, ReturnTerm)
+        next_arg_refs = ()
+        result_refs = term.results
+
+    ops: List[OpPlan] = []
+    slices: List[List[int]] = [[]]
+    items: List[Item] = []
+    for op in block.ops:
+        guard = tuple(
+            (ref_key(d), s) for d, s in guards_raw[op.op_id]
+        )
+        plan = OpPlan(
+            op_id=op.op_id,
+            op=op.op,
+            inputs=op.inputs,
+            token_ports=tuple(
+                p for p, r in enumerate(op.inputs)
+                if not isinstance(r, Lit)
+            ),
+            guard=guard,
+            slice_index=len(slices) - 1,
+            attrs=op.attrs,
+            is_spawn=op.op is Op.SPAWN,
+            callee=op.attrs.get("callee"),
+        )
+        ops.append(plan)
+        if op.op is Op.SPAWN:
+            # Transfer points are fetch items, not instructions.
+            items.append(("slice", len(slices) - 1))
+            items.append(("spawn", op.op_id))
+            slices.append([])
+        else:
+            slices[-1].append(op.op_id)
+
+    term_id: Optional[int] = None
+    if isinstance(term, LoopTerm):
+        term_id = len(block.ops)
+        term_plan = OpPlan(
+            op_id=term_id,
+            op=Op.JOIN,  # placeholder opcode; handled specially
+            inputs=(term.decider,),
+            token_ports=(
+                () if isinstance(term.decider, Lit) else (0,)
+            ),
+            guard=(),
+            slice_index=len(slices) - 1,
+            attrs={},
+        )
+        ops.append(term_plan)
+        slices[-1].append(term_id)
+    items.append(("slice", len(slices) - 1))
+
+    consumers: Dict[Key, List[Tuple[int, int]]] = {}
+    for plan in ops:
+        if plan.is_spawn:
+            continue
+        for port, ref in enumerate(plan.inputs):
+            key = ref_key(ref)
+            if key is not None:
+                consumers.setdefault(key, []).append((plan.op_id, port))
+
+    return BlockPlan(
+        name=block.name,
+        kind=block.kind,
+        n_params=block.n_params,
+        ops=ops,
+        term_id=term_id,
+        next_arg_refs=next_arg_refs,
+        result_refs=result_refs,
+        consumers=consumers,
+        items=items,
+        slices=slices,
+    )

@@ -1,0 +1,129 @@
+"""Dense kernels: dmv, dmm, dconv (paper Table II).
+
+Regular computation with simple, affine control flow. Output arrays
+are written once per element, so all store loops carry ``parallel``
+annotations (what the paper's compiler derives by dependence
+analysis), letting every machine overlap iterations freely.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.frontend.ast import (
+    ArraySpec,
+    Assign,
+    For,
+    Function,
+    Module,
+    Return,
+    Store,
+)
+from repro.frontend.dsl import c, load, v
+from repro.workloads import data as gen
+from repro.workloads import reference as ref
+
+
+def dmv_module() -> Module:
+    """w = A @ B for dense n x n A and length-n B (the paper's running
+    example, Fig. 3)."""
+    return Module(
+        functions=[
+            Function("main", ["n"], [
+                For("i", 0, v("n"), [
+                    Assign("acc", c(0)),
+                    For("j", 0, v("n"), [
+                        Assign("acc", v("acc")
+                               + load("A", v("i") * v("n") + v("j"))
+                               * load("B", v("j"))),
+                    ]),
+                    Store("w", v("i"), v("acc")),
+                ], parallel=("w",), label="rows"),
+                Return([c(0)]),
+            ]),
+        ],
+        arrays=[ArraySpec("A", read_only=True),
+                ArraySpec("B", read_only=True),
+                ArraySpec("w")],
+    )
+
+
+def dmv_instance(n: int, seed: int = 0):
+    A = gen.dense_matrix(n, n, seed)
+    B = gen.dense_vector(n, seed + 1)
+    memory = {"A": A, "B": B, "w": [0] * n}
+    expected = {"w": ref.dmv_ref(A, B, n)}
+    return dmv_module(), [n], memory, expected, ()
+
+
+def dmm_module() -> Module:
+    """C = A @ B for dense n x n matrices."""
+    return Module(
+        functions=[
+            Function("main", ["n"], [
+                For("i", 0, v("n"), [
+                    For("j", 0, v("n"), [
+                        Assign("acc", c(0)),
+                        For("k", 0, v("n"), [
+                            Assign("acc", v("acc")
+                                   + load("A", v("i") * v("n") + v("k"))
+                                   * load("B", v("k") * v("n") + v("j"))),
+                        ]),
+                        Store("C", v("i") * v("n") + v("j"), v("acc")),
+                    ], parallel=("C",), label="cols"),
+                ], parallel=("C",), label="rows"),
+                Return([c(0)]),
+            ]),
+        ],
+        arrays=[ArraySpec("A", read_only=True),
+                ArraySpec("B", read_only=True),
+                ArraySpec("C")],
+    )
+
+
+def dmm_instance(n: int, seed: int = 0):
+    A = gen.dense_matrix(n, n, seed)
+    B = gen.dense_matrix(n, n, seed + 1)
+    memory = {"A": A, "B": B, "C": [0] * (n * n)}
+    expected = {"C": ref.dmm_ref(A, B, n)}
+    return dmm_module(), [n], memory, expected, ()
+
+
+def dconv_module() -> Module:
+    """Valid 2-D convolution of an h x w image with a kh x kw filter."""
+    return Module(
+        functions=[
+            Function("main", ["h", "w", "kh", "kw"], [
+                Assign("oh", v("h") - v("kh") + 1),
+                Assign("ow", v("w") - v("kw") + 1),
+                For("y", 0, v("oh"), [
+                    For("x", 0, v("ow"), [
+                        Assign("acc", c(0)),
+                        For("fy", 0, v("kh"), [
+                            For("fx", 0, v("kw"), [
+                                Assign("acc", v("acc")
+                                       + load("I", (v("y") + v("fy"))
+                                              * v("w") + v("x") + v("fx"))
+                                       * load("F", v("fy") * v("kw")
+                                              + v("fx"))),
+                            ]),
+                        ]),
+                        Store("O", v("y") * v("ow") + v("x"), v("acc")),
+                    ], parallel=("O",), label="xs"),
+                ], parallel=("O",), label="ys"),
+                Return([c(0)]),
+            ]),
+        ],
+        arrays=[ArraySpec("I", read_only=True),
+                ArraySpec("F", read_only=True),
+                ArraySpec("O")],
+    )
+
+
+def dconv_instance(h: int, w: int, kh: int, kw: int, seed: int = 0):
+    image = gen.dense_matrix(h, w, seed, lo=0, hi=5)
+    filt = gen.dense_matrix(kh, kw, seed + 1, lo=0, hi=3)
+    oh, ow = h - kh + 1, w - kw + 1
+    memory = {"I": image, "F": filt, "O": [0] * (oh * ow)}
+    expected = {"O": ref.dconv_ref(image, filt, h, w, kh, kw)}
+    return dconv_module(), [h, w, kh, kw], memory, expected, ()

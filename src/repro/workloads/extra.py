@@ -1,0 +1,129 @@
+"""Extra workloads beyond the paper's Table II suite.
+
+Used by ablation benches and examples to probe behaviors the seven
+paper kernels do not isolate:
+
+* ``bfs`` -- breadth-first search with an explicit frontier queue in
+  memory. The queue push/pop chain is a serial memory dependence (like
+  the paper's explicit-stack recursion, Sec. VIII-B), while the
+  neighbor inspection of each dequeued vertex is parallel work -- a
+  half-irregular, half-serial profile none of the Table II kernels
+  has.
+* ``histogram`` -- pure scatter increments into a shared array; the
+  fully serialized extreme of the memory-ordering spectrum.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.frontend.ast import (
+    ArraySpec,
+    Assign,
+    For,
+    Function,
+    If,
+    Module,
+    Return,
+    Store,
+    While,
+)
+from repro.frontend.dsl import c, load, v
+from repro.workloads import data as gen
+
+
+def bfs_module() -> Module:
+    """Level-labelled BFS from vertex 0 over a CSR adjacency.
+
+    ``dist`` holds -1 for unvisited vertices; ``queue`` is an explicit
+    FIFO in memory with head/tail cursors carried as loop variables.
+    """
+    return Module(
+        functions=[
+            Function("main", ["n"], [
+                Store("dist", c(0), c(0)),
+                Store("queue", c(0), c(0)),
+                Assign("head", c(0)),
+                Assign("tail", c(1)),
+                While(v("head") < v("tail"), [
+                    Assign("u", load("queue", v("head"))),
+                    Assign("head", v("head") + 1),
+                    Assign("du", load("dist", v("u"))),
+                    For("p", load("ptr", v("u")),
+                        load("ptr", v("u") + 1), [
+                            Assign("w", load("idx", v("p"))),
+                            If(load("dist", v("w")) < 0, [
+                                Store("dist", v("w"), v("du") + 1),
+                                Store("queue", v("tail"), v("w")),
+                                Assign("tail", v("tail") + 1),
+                            ]),
+                        ], label="nbrs"),
+                ], label="frontier"),
+                Return([v("tail")]),
+            ]),
+        ],
+        arrays=[ArraySpec("ptr", read_only=True),
+                ArraySpec("idx", read_only=True),
+                ArraySpec("dist"),
+                ArraySpec("queue")],
+    )
+
+
+def bfs_ref(indptr: List[int], indices: List[int]) -> List[int]:
+    n = len(indptr) - 1
+    dist = [-1] * n
+    dist[0] = 0
+    frontier = [0]
+    while frontier:
+        nxt = []
+        for u in frontier:
+            for p in range(indptr[u], indptr[u + 1]):
+                w = indices[p]
+                if dist[w] < 0:
+                    dist[w] = dist[u] + 1
+                    nxt.append(w)
+        frontier = nxt
+    return dist
+
+
+def bfs_instance(n: int, k: int = 6, p: float = 0.1, seed: int = 0):
+    indptr, indices = gen.small_world_graph(n, k, p, seed)
+    memory = {
+        "ptr": indptr, "idx": indices,
+        "dist": [-1] * n, "queue": [0] * (n + 1),
+    }
+    dist = bfs_ref(indptr, indices)
+    visited = sum(1 for d in dist if d >= 0)
+    expected_memory = {"dist": dist}
+    return bfs_module(), [n], memory, expected_memory, (visited,)
+
+
+def histogram_module() -> Module:
+    """hist[data[i] & (BINS-1)] += 1 -- maximally ordered scatter."""
+    return Module(
+        functions=[
+            Function("main", ["n"], [
+                For("i", 0, v("n"), [
+                    Assign("b", load("data", v("i")) & c(15)),
+                    Store("hist", v("b"), load("hist", v("b")) + 1),
+                ], label="items"),
+                Return([c(0)]),
+            ]),
+        ],
+        arrays=[ArraySpec("data", read_only=True),
+                ArraySpec("hist")],
+    )
+
+
+def histogram_ref(data: List[int]) -> List[int]:
+    hist = [0] * 16
+    for x in data:
+        hist[x & 15] += 1
+    return hist
+
+
+def histogram_instance(n: int, seed: int = 0):
+    data = gen.dense_vector(n, seed, lo=0, hi=255)
+    memory = {"data": data, "hist": [0] * 16}
+    expected = {"hist": histogram_ref(data)}
+    return histogram_module(), [n], memory, expected, ()

@@ -1,0 +1,71 @@
+"""Graph kernel: triangle counting (tc, paper Table II).
+
+Merge-based neighbor-list intersection over a sorted CSR adjacency.
+Control flow is maximally irregular: a data-dependent ``while`` merge
+loop nested inside two data-dependent ``for`` loops, with all-read-only
+memory -- the pattern where unordered dataflow's freedom pays off and
+ordered pipelines stall on unpredictable trip counts.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.ast import (
+    ArraySpec,
+    Assign,
+    Cond,
+    For,
+    Function,
+    If,
+    Module,
+    Return,
+    While,
+)
+from repro.frontend.dsl import c, load, v
+from repro.workloads import data as gen
+from repro.workloads import reference as ref
+
+
+def tc_module() -> Module:
+    """Count triangles u < v < w with edges (u,v), (u,w), (v,w)."""
+    merge_body = [
+        Assign("wa", load("idx", v("a"))),
+        Assign("wb", load("idx", v("b"))),
+        Assign("hit", (v("wa") == v("wb")) & (v("wa") > v("vtx"))),
+        Assign("cnt", v("cnt") + Cond(v("hit"), c(1), c(0))),
+        Assign("a", v("a") + Cond(v("wa") <= v("wb"), c(1), c(0))),
+        Assign("b", v("b") + Cond(v("wb") <= v("wa"), c(1), c(0))),
+    ]
+    return Module(
+        functions=[
+            Function("main", ["n"], [
+                Assign("total", c(0)),
+                For("u", 0, v("n"), [
+                    For("pv", load("ptr", v("u")),
+                        load("ptr", v("u") + 1), [
+                            Assign("vtx", load("idx", v("pv"))),
+                            If(v("vtx") > v("u"), [
+                                Assign("a", v("pv") + 1),
+                                Assign("ea", load("ptr", v("u") + 1)),
+                                Assign("b", load("ptr", v("vtx"))),
+                                Assign("eb", load("ptr", v("vtx") + 1)),
+                                Assign("cnt", c(0)),
+                                While((v("a") < v("ea"))
+                                      & (v("b") < v("eb")),
+                                      merge_body, label="merge"),
+                                Assign("total", v("total") + v("cnt")),
+                            ]),
+                        ], label="nbrs"),
+                ], label="verts"),
+                Return([v("total")]),
+            ]),
+        ],
+        arrays=[ArraySpec("ptr", read_only=True),
+                ArraySpec("idx", read_only=True)],
+    )
+
+
+def tc_instance(n: int, k: int = 8, p: float = 0.1, seed: int = 0):
+    indptr, indices = gen.small_world_graph(n, k, p, seed)
+    memory = {"ptr": indptr, "idx": indices}
+    expected_result = ref.tc_ref(indptr, indices)
+    return tc_module(), [n], memory, {}, (expected_result,)

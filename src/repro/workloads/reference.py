@@ -1,0 +1,89 @@
+"""Numpy-backed oracles for every workload.
+
+Every machine model's final memory and return values are compared
+against these, for every benchmark run in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def dmv_ref(A: Sequence[int], B: Sequence[int], n: int) -> List[int]:
+    a = np.asarray(A, dtype=np.int64).reshape(n, n)
+    b = np.asarray(B, dtype=np.int64)
+    return (a @ b).tolist()
+
+
+def dmm_ref(A: Sequence[int], B: Sequence[int], n: int) -> List[int]:
+    a = np.asarray(A, dtype=np.int64).reshape(n, n)
+    b = np.asarray(B, dtype=np.int64).reshape(n, n)
+    return (a @ b).reshape(-1).tolist()
+
+
+def dconv_ref(image: Sequence[int], filt: Sequence[int], h: int, w: int,
+              kh: int, kw: int) -> List[int]:
+    img = np.asarray(image, dtype=np.int64).reshape(h, w)
+    f = np.asarray(filt, dtype=np.int64).reshape(kh, kw)
+    oh, ow = h - kh + 1, w - kw + 1
+    out = np.zeros((oh, ow), dtype=np.int64)
+    for y in range(oh):
+        for x in range(ow):
+            out[y, x] = int((img[y:y + kh, x:x + kw] * f).sum())
+    return out.reshape(-1).tolist()
+
+
+def smv_ref(indptr: Sequence[int], indices: Sequence[int],
+            data: Sequence[int], x: Sequence[int]) -> List[int]:
+    n = len(indptr) - 1
+    y = [0] * n
+    for i in range(n):
+        acc = 0
+        for p in range(indptr[i], indptr[i + 1]):
+            acc += data[p] * x[indices[p]]
+        y[i] = acc
+    return y
+
+
+def spmspv_ref(indptr: Sequence[int], indices: Sequence[int],
+               data: Sequence[int], vidx: Sequence[int],
+               vval: Sequence[int], rows: int) -> List[int]:
+    """CSC matrix times sparse vector, dense accumulator output."""
+    y = [0] * rows
+    for k, col in enumerate(vidx):
+        xv = vval[k]
+        for p in range(indptr[col], indptr[col + 1]):
+            y[indices[p]] += data[p] * xv
+    return y
+
+
+def spmspm_ref(a_indptr: Sequence[int], a_indices: Sequence[int],
+               a_data: Sequence[int], b_indptr: Sequence[int],
+               b_indices: Sequence[int], b_data: Sequence[int],
+               n: int) -> List[int]:
+    """CSR x CSR with a dense accumulator output (row-major)."""
+    out = [0] * (n * n)
+    for i in range(n):
+        for p in range(a_indptr[i], a_indptr[i + 1]):
+            k = a_indices[p]
+            av = a_data[p]
+            for q in range(b_indptr[k], b_indptr[k + 1]):
+                out[i * n + b_indices[q]] += av * b_data[q]
+    return out
+
+
+def tc_ref(indptr: Sequence[int], indices: Sequence[int]) -> int:
+    """Triangle count over an undirected CSR adjacency (sorted)."""
+    n = len(indptr) - 1
+    neighbors = [set(indices[indptr[u]:indptr[u + 1]]) for u in range(n)]
+    count = 0
+    for u in range(n):
+        for vtx in indices[indptr[u]:indptr[u + 1]]:
+            if vtx <= u:
+                continue
+            for w in neighbors[u] & neighbors[vtx]:
+                if w > vtx:
+                    count += 1
+    return count

@@ -1,0 +1,226 @@
+"""Sparse kernels: smv, spmspv, spmspm (paper Table II).
+
+Irregular, data-dependent control flow: inner trip counts come from
+CSR/CSC index structures loaded at run time. This is the workload
+class where unordered dataflow shines (unpredictable latencies and
+trip counts defeat ordered pipelines) and where parallelism explosion
+is most violent (paper Fig. 2).
+
+Memory-ordering notes (what a dependence analysis would emit):
+
+* ``smv``: each row writes its own ``y[i]`` -- outer loop parallel.
+* ``spmspv``: scattered read-modify-write updates of the accumulator
+  may collide, so the update chain stays ordered (address streams are
+  data-dependent, no static analysis could prove disjointness); all
+  index arithmetic, loads of the matrix, and multiplies still run in
+  parallel.
+* ``spmspm``: rows of the output are disjoint (outer parallel); within
+  a row, updates of the dense accumulator row are chained (column
+  collisions across the k-loop are real).
+"""
+
+from __future__ import annotations
+
+from repro.frontend.ast import (
+    ArraySpec,
+    Assign,
+    For,
+    Function,
+    If,
+    Module,
+    Return,
+    Store,
+)
+from repro.frontend.dsl import c, load, v
+from repro.workloads import data as gen
+from repro.workloads import reference as ref
+
+
+def smv_module() -> Module:
+    """y = A @ x with A in CSR form."""
+    return Module(
+        functions=[
+            Function("main", ["n"], [
+                For("i", 0, v("n"), [
+                    Assign("acc", c(0)),
+                    For("p", load("indptr", v("i")),
+                        load("indptr", v("i") + 1), [
+                            Assign("acc", v("acc")
+                                   + load("vals", v("p"))
+                                   * load("x", load("indices", v("p")))),
+                        ], label="nnz"),
+                    Store("y", v("i"), v("acc")),
+                ], parallel=("y",), label="rows"),
+                Return([c(0)]),
+            ]),
+        ],
+        arrays=[ArraySpec("indptr", read_only=True),
+                ArraySpec("indices", read_only=True),
+                ArraySpec("vals", read_only=True),
+                ArraySpec("x", read_only=True),
+                ArraySpec("y")],
+    )
+
+
+def smv_instance(n: int, bandwidth: int = 6, seed: int = 0):
+    indptr, indices, vals = gen.banded_symmetric_csr(n, bandwidth,
+                                                     seed=seed)
+    x = gen.dense_vector(n, seed + 1)
+    memory = {
+        "indptr": indptr, "indices": indices, "vals": vals,
+        "x": x, "y": [0] * n,
+    }
+    expected = {"y": ref.smv_ref(indptr, indices, vals, x)}
+    return smv_module(), [n], memory, expected, ()
+
+
+def spmspv_module() -> Module:
+    """y = A @ x with A in CSR and x sparse (dense mask + values).
+
+    Row-gather formulation: each matrix nonzero is checked against the
+    sparse vector's occupancy mask, so control flow depends on the
+    input sparsity pattern, but each row writes only its own ``y[i]``
+    and rows run fully in parallel -- matching the near-ideal
+    parallelism the paper reports for spmspv. (The column-scatter
+    formulation is provided separately as ``spmspv_scatter``: its
+    read-modify-write chain is serialized by any sound conservative
+    memory ordering, which makes it an interesting ablation, not a
+    reproduction of the paper's shape.)
+    """
+    return Module(
+        functions=[
+            Function("main", ["n"], [
+                For("i", 0, v("n"), [
+                    Assign("acc", c(0)),
+                    For("p", load("indptr", v("i")),
+                        load("indptr", v("i") + 1), [
+                            Assign("col", load("indices", v("p"))),
+                            If(load("xmask", v("col")) > 0, [
+                                Assign("acc", v("acc")
+                                       + load("vals", v("p"))
+                                       * load("xval", v("col"))),
+                            ]),
+                        ], label="nnz"),
+                    Store("y", v("i"), v("acc")),
+                ], parallel=("y",), label="rows"),
+                Return([c(0)]),
+            ]),
+        ],
+        arrays=[ArraySpec("indptr", read_only=True),
+                ArraySpec("indices", read_only=True),
+                ArraySpec("vals", read_only=True),
+                ArraySpec("xmask", read_only=True),
+                ArraySpec("xval", read_only=True),
+                ArraySpec("y")],
+    )
+
+
+def spmspv_instance(n: int, density: float = 0.05, vnnz: int = 8,
+                    seed: int = 0):
+    indptr, indices, vals = gen.random_csr(n, n, density, seed=seed)
+    vidx, vval = gen.sparse_vector(n, vnnz, seed + 1)
+    xmask = [0] * n
+    xval = [0] * n
+    for i, value in zip(vidx, vval):
+        xmask[i] = 1
+        xval[i] = value
+    memory = {
+        "indptr": indptr, "indices": indices, "vals": vals,
+        "xmask": xmask, "xval": xval, "y": [0] * n,
+    }
+    expected = {"y": ref.smv_ref(indptr, indices, vals, xval)}
+    return spmspv_module(), [n], memory, expected, ()
+
+
+def spmspv_scatter_module() -> Module:
+    """Column-scatter spmspv: y += A[:, col] * xv per vector nonzero
+    (A in CSC). The accumulator read-modify-write chain is ordered, so
+    this kernel measures how much a serialized update chain costs each
+    architecture."""
+    return Module(
+        functions=[
+            Function("main", ["vnnz"], [
+                For("k", 0, v("vnnz"), [
+                    Assign("col", load("vidx", v("k"))),
+                    Assign("xv", load("vval", v("k"))),
+                    For("p", load("indptr", v("col")),
+                        load("indptr", v("col") + 1), [
+                            Assign("r", load("indices", v("p"))),
+                            Store("y", v("r"),
+                                  load("y", v("r"))
+                                  + load("vals", v("p")) * v("xv")),
+                        ], label="colnnz"),
+                ], label="nzin"),
+                Return([c(0)]),
+            ]),
+        ],
+        arrays=[ArraySpec("indptr", read_only=True),
+                ArraySpec("indices", read_only=True),
+                ArraySpec("vals", read_only=True),
+                ArraySpec("vidx", read_only=True),
+                ArraySpec("vval", read_only=True),
+                ArraySpec("y")],
+    )
+
+
+def spmspv_scatter_instance(n: int, density: float = 0.05, vnnz: int = 8,
+                            seed: int = 0):
+    # CSC of an n x n matrix == CSR of its transpose.
+    indptr, indices, vals = gen.random_csr(n, n, density, seed=seed)
+    vidx, vval = gen.sparse_vector(n, vnnz, seed + 1)
+    memory = {
+        "indptr": indptr, "indices": indices, "vals": vals,
+        "vidx": vidx, "vval": vval, "y": [0] * n,
+    }
+    expected = {
+        "y": ref.spmspv_ref(indptr, indices, vals, vidx, vval, n)
+    }
+    return spmspv_scatter_module(), [len(vidx)], memory, expected, ()
+
+
+def spmspm_module() -> Module:
+    """C = A @ B for CSR A and B, dense accumulator C (row-major)."""
+    return Module(
+        functions=[
+            Function("main", ["n"], [
+                For("i", 0, v("n"), [
+                    For("p", load("aptr", v("i")),
+                        load("aptr", v("i") + 1), [
+                            Assign("kk", load("aidx", v("p"))),
+                            Assign("av", load("avals", v("p"))),
+                            For("q", load("bptr", v("kk")),
+                                load("bptr", v("kk") + 1), [
+                                    Assign("cj", v("i") * v("n")
+                                           + load("bidx", v("q"))),
+                                    Store("C", v("cj"),
+                                          load("C", v("cj"))
+                                          + v("av")
+                                          * load("bvals", v("q"))),
+                                ], label="bnnz"),
+                        ], label="annz"),
+                ], parallel=("C",), label="rows"),
+                Return([c(0)]),
+            ]),
+        ],
+        arrays=[ArraySpec("aptr", read_only=True),
+                ArraySpec("aidx", read_only=True),
+                ArraySpec("avals", read_only=True),
+                ArraySpec("bptr", read_only=True),
+                ArraySpec("bidx", read_only=True),
+                ArraySpec("bvals", read_only=True),
+                ArraySpec("C")],
+    )
+
+
+def spmspm_instance(n: int, density: float = 0.05, seed: int = 0):
+    aptr, aidx, avals = gen.random_csr(n, n, density, seed=seed)
+    bptr, bidx, bvals = gen.random_csr(n, n, density, seed=seed + 1)
+    memory = {
+        "aptr": aptr, "aidx": aidx, "avals": avals,
+        "bptr": bptr, "bidx": bidx, "bvals": bvals,
+        "C": [0] * (n * n),
+    }
+    expected = {
+        "C": ref.spmspm_ref(aptr, aidx, avals, bptr, bidx, bvals, n)
+    }
+    return spmspm_module(), [n], memory, expected, ()

@@ -1,0 +1,121 @@
+"""Unit tests for the TYR elaborator (concurrent-block linkage)."""
+
+import pytest
+
+from repro.compiler.elaborate import ROOT_BLOCK, elaborate
+from repro.frontend.ast import Assign, Call, For, Function, Module, Return
+from repro.frontend.dsl import c, v
+from repro.frontend.lower import lower_module
+from repro.ir.ops import Op
+
+from tests.conftest import dmv_module, sum_loop_module
+
+
+def ops_of(graph, op):
+    return [n for n in graph.nodes if n.op is op]
+
+
+def test_dmv_elaborates_with_full_linkage():
+    g = elaborate(lower_module(dmv_module()))
+    stats = g.stats()
+    # Paper Table I token-synchronization ops all appear.
+    for name in ("allocate", "free", "changeTag", "extractTag", "join"):
+        assert stats.get(name, 0) > 0, f"missing {name}"
+    # One free per concurrent block (main + two loops).
+    assert stats["free"] == 3
+    # Two transfer points per loop, one per call: main->loop_i,
+    # loop_i->loop_j, loop_i backedge, loop_j backedge, root->main.
+    assert stats["allocate"] == 5
+
+
+def test_every_block_has_exactly_one_free():
+    g = elaborate(lower_module(dmv_module()))
+    frees = {}
+    for n in ops_of(g, Op.FREE):
+        frees[n.attrs["tagspace"]] = frees.get(n.attrs["tagspace"], 0) + 1
+    assert set(frees) == set(g.blocks)
+    assert all(count == 1 for count in frees.values())
+
+
+def test_spare_flag_only_on_external_loop_allocates():
+    g = elaborate(lower_module(dmv_module()))
+    spares = [n for n in ops_of(g, Op.ALLOCATE) if n.attrs["spare"]]
+    # External allocates into the two loops are spare; backedges and
+    # the root->main allocate are not.
+    assert len(spares) == 2
+    for n in spares:
+        assert ".for_" in n.attrs["tagspace"] or "loop" in n.attrs[
+            "tagspace"
+        ]
+
+
+def test_backedge_allocates_live_in_their_own_block():
+    g = elaborate(lower_module(sum_loop_module()))
+    backedges = [
+        n for n in ops_of(g, Op.ALLOCATE)
+        if n.block == n.attrs["tagspace"]
+    ]
+    assert len(backedges) == 1  # one loop
+
+
+def test_root_linkage_and_result_nodes():
+    g = elaborate(lower_module(sum_loop_module()))
+    root_nodes = [n for n in g.nodes if n.block == ROOT_BLOCK]
+    assert any(n.op is Op.ALLOCATE for n in root_nodes)
+    assert len(g.result_nodes) == 1
+    res = g.nodes[g.result_nodes[0]]
+    assert res.attrs["result_index"] == 0
+    assert g.entry_sources and g.entry_sources[0]
+
+
+def test_all_output_ports_wired_or_deliberately_dangling():
+    g = elaborate(lower_module(dmv_module()))
+    g.check()
+    # Free barriers must consume steer control outputs: no steer ctl
+    # may dangle (a dangling ctl would strand a token per context).
+    for n in g.nodes:
+        if n.op is Op.STEER:
+            assert n.out_edges[1], f"{n} control output dangles"
+
+
+def test_theorem2_quantities():
+    g = elaborate(lower_module(dmv_module()))
+    assert g.static_instructions == len(g.nodes)
+    assert g.max_inputs >= 2
+    assert g.token_bound(2) == 2 * len(g.nodes) * g.max_inputs
+
+
+def test_tag_override_propagates():
+    mod = Module([
+        Function("main", ["n"], [
+            Assign("acc", c(0)),
+            For("i", 0, v("n"), [Assign("acc", v("acc") + 1)], tags=8),
+            Return([v("acc")]),
+        ]),
+    ])
+    g = elaborate(lower_module(mod))
+    loops = [b for b in g.tag_overrides if ".for_" in b or "loop" in b]
+    assert any(g.tag_overrides[b] == 8 for b in loops)
+
+
+def test_multi_call_site_uses_routed_exit():
+    mod = Module([
+        Function("sq", ["x"], [Return([v("x") * v("x")])]),
+        Function("main", ["a"], [
+            Call(["p"], "sq", [v("a")]),
+            Call(["q"], "sq", [v("a") + 1]),
+            Return([v("p") + v("q")]),
+        ]),
+    ])
+    g = elaborate(lower_module(mod))
+    routed = [n for n in ops_of(g, Op.CHANGE_TAG)
+              if "route_table" in n.attrs]
+    assert routed, "expected dynamic-destination changeTag"
+    for n in routed:
+        assert len(n.attrs["route_table"]) == 2  # two call sites
+
+
+def test_single_call_site_uses_static_exit():
+    g = elaborate(lower_module(sum_loop_module()))
+    assert not any("route_table" in n.attrs
+                   for n in ops_of(g, Op.CHANGE_TAG))

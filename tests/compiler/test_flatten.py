@@ -1,0 +1,74 @@
+"""Unit tests for the flat (ordered dataflow) lowering."""
+
+import pytest
+
+from repro.compiler.flatten import flatten
+from repro.frontend.ast import (
+    ArraySpec, Assign, Call, For, Function, Module, Return, Store,
+)
+from repro.frontend.dsl import c, load, v
+from repro.frontend.lower import lower_module
+from repro.ir.ops import Op
+
+from tests.conftest import dmv_module, sum_loop_module
+
+
+def test_no_tag_ops_in_flat_graph():
+    g = flatten(lower_module(dmv_module()))
+    forbidden = {Op.ALLOCATE, Op.FREE, Op.CHANGE_TAG, Op.EXTRACT_TAG,
+                 Op.JOIN, Op.SPAWN}
+    assert not any(n.op in forbidden for n in g.nodes)
+
+
+def test_one_mu_per_carried_value():
+    g = flatten(lower_module(sum_loop_module()))
+    mus = [n for n in g.nodes if n.op is Op.MU]
+    # The sum loop carries acc, n, i.
+    assert len(mus) == 3
+
+
+def test_mu_backedge_and_decider_wired():
+    g = flatten(lower_module(sum_loop_module()))
+    for mu in (n for n in g.nodes if n.op is Op.MU):
+        has_back = any(
+            (mu.node_id, 1) in dests
+            for n in g.nodes for dests in n.out_edges
+        ) or 1 in mu.imms
+        has_decider = any(
+            (mu.node_id, 2) in dests
+            for n in g.nodes for dests in n.out_edges
+        )
+        assert has_back and has_decider
+
+
+def test_functions_are_cloned_per_call_site():
+    mod = Module([
+        Function("sq", ["x"], [Return([v("x") * v("x")])]),
+        Function("main", ["a"], [
+            Call(["p"], "sq", [v("a")]),
+            Call(["q"], "sq", [v("a") + 1]),
+            Return([v("p") + v("q")]),
+        ]),
+    ])
+    g = flatten(lower_module(mod))
+    muls = [n for n in g.nodes if n.op is Op.MUL]
+    assert len(muls) == 2  # sq's multiply inlined twice
+
+
+def test_constant_entry_result_recorded():
+    mod = Module(
+        [Function("main", ["n"], [
+            Store("A", v("n"), c(1)),
+            Return([c(42)]),
+        ])],
+        arrays=[ArraySpec("A")],
+    )
+    g = flatten(lower_module(mod))
+    assert g.const_results.get(0) == 42
+
+
+def test_nested_loops_nest_mus():
+    g = flatten(lower_module(dmv_module()))
+    mus = [n for n in g.nodes if n.op is Op.MU]
+    assert len(mus) >= 5  # outer (i, n, ...) + inner (acc, i, n, j)
+    g.check()

@@ -1,0 +1,183 @@
+"""Unit tests for the IR optimization passes."""
+
+import pytest
+
+from repro.compiler.passes import (
+    eliminate_dead_ops,
+    optimize_program,
+    simplify_block,
+)
+from repro.frontend.ast import (
+    ArraySpec,
+    Assign,
+    For,
+    Function,
+    If,
+    Module,
+    Return,
+    Store,
+)
+from repro.frontend.dsl import c, load, v
+from repro.frontend.lower import lower_module
+from repro.harness.runner import CompiledWorkload
+from repro.ir.interp import ReferenceInterpreter
+from repro.ir.ops import Op
+from repro.sim.memory import Memory
+from repro.workloads import WORKLOAD_NAMES, build_workload
+from repro.workloads.randomprog import random_memory, random_module
+
+
+def op_count(program):
+    return program.static_instruction_count()
+
+
+def test_neutral_element_simplification():
+    mod = Module([
+        Function("main", ["x"], [
+            Assign("a", v("x") + 0),
+            Assign("b", v("a") * 1),
+            Assign("d", v("b") - 0),
+            Return([v("d")]),
+        ]),
+    ])
+    prog = lower_module(mod)
+    before = op_count(prog)
+    optimize_program(prog)
+    # Everything collapses to returning the parameter.
+    assert op_count(prog) < before
+    assert op_count(prog) == 0
+    res = ReferenceInterpreter(prog, {}).run([41])
+    assert res.results == (41,)
+
+
+def test_dead_code_eliminated():
+    mod = Module([
+        Function("main", ["x"], [
+            Assign("unused", v("x") * 123 + 7),
+            Assign("used", v("x") + 1),
+            Return([v("used")]),
+        ]),
+    ])
+    prog = lower_module(mod)
+    optimize_program(prog)
+    assert op_count(prog) == 1  # only the x+1
+    res = ReferenceInterpreter(prog, {}).run([5])
+    assert res.results == (6,)
+
+
+def test_stores_never_eliminated():
+    mod = Module(
+        [Function("main", ["x"], [
+            Store("A", v("x"), v("x") * 2),
+            Return([c(0)]),
+        ])],
+        arrays=[ArraySpec("A")],
+    )
+    prog = lower_module(mod)
+    optimize_program(prog)
+    ops = [o.op for b in prog.blocks.values() for o in b.ops]
+    assert Op.STORE in ops
+
+
+def test_dead_loads_eliminated_chained_loads_kept():
+    mod = Module(
+        [Function("main", ["x"], [
+            Assign("unused", load("R", v("x"))),
+            Assign("used", load("R", v("x") + 1)),
+            Return([v("used")]),
+        ])],
+        arrays=[ArraySpec("R", read_only=True)],
+    )
+    prog = lower_module(mod)
+    optimize_program(prog)
+    loads = [o for b in prog.blocks.values() for o in b.ops
+             if o.op is Op.LOAD]
+    assert len(loads) == 1
+
+
+def test_materialized_triggers_survive():
+    # SELECT(1, lit, trigger) must not fold away: spawns/stores would
+    # lose their only token input.
+    mod = Module(
+        [Function("main", ["n"], [
+            For("i", 0, c(4), [Store("A", v("i"), c(7))],
+                parallel=("A",)),
+            Return([c(0)]),
+        ])],
+        arrays=[ArraySpec("A")],
+    )
+    prog = lower_module(mod)
+    optimize_program(prog)  # re-validates: would fail on all-Lit ops
+    mem = {"A": [0] * 4}
+    ReferenceInterpreter(prog, mem).run([1])
+    assert mem["A"] == [7, 7, 7, 7]
+
+
+def test_loop_carried_values_kept():
+    prog = lower_module(Module([
+        Function("main", ["n"], [
+            Assign("acc", c(0)),
+            For("i", 0, v("n"), [Assign("acc", v("acc") + v("i"))]),
+            Return([v("acc")]),
+        ]),
+    ]))
+    optimize_program(prog)
+    res = ReferenceInterpreter(prog, {}).run([10])
+    assert res.results == (45,)
+
+
+def test_region_deciders_kept_alive():
+    mod = Module(
+        [Function("main", ["x"], [
+            If(v("x") > 0, [Store("A", c(0), v("x"))]),
+            Return([c(0)]),
+        ])],
+        arrays=[ArraySpec("A", length=1)],
+    )
+    prog = lower_module(mod)
+    optimize_program(prog)
+    mem = {"A": [0]}
+    ReferenceInterpreter(prog, mem).run([9, 0])
+    assert mem["A"] == [9]
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_optimized_workloads_still_correct(name):
+    wl = build_workload(name, "tiny")
+    prog = lower_module(wl.module)
+    before = op_count(prog)
+    cw = CompiledWorkload(prog, optimize=True)
+    assert op_count(cw.program) <= before
+    mem = wl.fresh_memory()
+    res = cw.run("tyr", mem, wl.args, tags=4)
+    wl.check(mem, res.extra["declared_results"])
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_optimization_preserves_semantics_on_random_programs(seed):
+    module = random_module(seed)
+    base = CompiledWorkload(lower_module(module))
+    mem0 = Memory(random_memory())
+    ref = ReferenceInterpreter(base.program, mem0).run(
+        base.entry_args([3, 5])
+    )
+    opt = CompiledWorkload(lower_module(module), optimize=True)
+    mem1 = Memory(random_memory())
+    res = opt.run("tyr", mem1, [3, 5], tags=2)
+    assert res.completed
+    assert (res.extra["declared_results"]
+            == base.declared_results(ref.results))
+    assert mem1.snapshot() == mem0.snapshot()
+
+
+def test_optimization_reaches_fixed_point():
+    prog = lower_module(Module([
+        Function("main", ["x"], [
+            Assign("a", (v("x") + 0) * 1),
+            Return([v("a")]),
+        ]),
+    ]))
+    optimize_program(prog)
+    block = prog.entry_block()
+    assert not simplify_block(block)
+    assert not eliminate_dead_ops(block)

@@ -1,0 +1,96 @@
+"""Shared fixtures: canonical small programs used across the suite."""
+
+import random
+
+import pytest
+
+from repro.frontend.ast import (
+    ArraySpec,
+    Assign,
+    Call,
+    For,
+    Function,
+    If,
+    Module,
+    Return,
+    Store,
+    While,
+)
+from repro.frontend.dsl import c, load, v
+from repro.frontend.lower import lower_module
+from repro.harness.runner import CompiledWorkload
+from repro.ir.interp import ReferenceInterpreter
+from repro.sim.memory import Memory
+
+
+def dmv_module():
+    """Dense matrix-vector product (the paper's running example)."""
+    return Module(
+        functions=[
+            Function("main", ["n"], [
+                For("i", 0, v("n"), [
+                    Assign("acc", c(0)),
+                    For("j", 0, v("n"), [
+                        Assign("acc", v("acc")
+                               + load("A", v("i") * v("n") + v("j"))
+                               * load("B", v("j"))),
+                    ]),
+                    Store("w", v("i"), v("acc")),
+                ], parallel=("w",)),
+                Return([c(0)]),
+            ]),
+        ],
+        arrays=[ArraySpec("A", read_only=True),
+                ArraySpec("B", read_only=True),
+                ArraySpec("w")],
+    )
+
+
+def dmv_memory(n, seed=1):
+    rng = random.Random(seed)
+    A = [rng.randint(0, 9) for _ in range(n * n)]
+    B = [rng.randint(0, 9) for _ in range(n)]
+    return {"A": A, "B": B, "w": [0] * n}
+
+
+def dmv_expected(mem, n):
+    A, B = mem["A"], mem["B"]
+    return [sum(A[i * n + j] * B[j] for j in range(n)) for i in range(n)]
+
+
+def sum_loop_module():
+    """sum(range(n)) accumulated through a carried variable."""
+    return Module([
+        Function("main", ["n"], [
+            Assign("acc", c(0)),
+            For("i", 0, v("n"), [Assign("acc", v("acc") + v("i"))]),
+            Return([v("acc")]),
+        ]),
+    ])
+
+
+def run_reference(module, args, memory=None):
+    """(declared results, final memory, program) via the oracle."""
+    prog = lower_module(module)
+    cw = CompiledWorkload(prog)
+    mem = Memory(dict(memory or {}))
+    result = ReferenceInterpreter(prog, mem).run(cw.entry_args(args))
+    return cw.declared_results(result.results), mem.snapshot(), prog
+
+
+def assert_machine_matches_reference(module, args, memory, machine,
+                                     **kwargs):
+    """Run ``machine`` and assert results + memory match the oracle."""
+    want, want_mem, prog = run_reference(module, args, memory)
+    cw = CompiledWorkload(prog)
+    mem = Memory(dict(memory or {}))
+    res = cw.run(machine, mem, args, **kwargs)
+    assert res.completed, f"{machine} did not complete"
+    assert res.extra["declared_results"] == want
+    assert mem.snapshot() == want_mem
+    return res
+
+
+@pytest.fixture
+def dmv():
+    return dmv_module()

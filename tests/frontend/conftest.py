@@ -1,0 +1,24 @@
+"""Shared helpers for frontend tests."""
+
+import pytest
+
+from repro.frontend.ast import ArraySpec, Function, Module, Return
+from repro.frontend.lower import lower_module
+from repro.ir.interp import ReferenceInterpreter
+
+
+def run_main(mod, args, memory=None):
+    """Lower a module and execute it with the reference interpreter."""
+    prog = lower_module(mod)
+    mem = dict(memory or {})
+    # Hidden order-token params on the entry take an initial 0.
+    full_args = list(args)
+    full_args += [0] * (prog.entry_block().n_params - len(full_args))
+    result = ReferenceInterpreter(prog, mem).run(full_args)
+    declared = prog.meta["entry_declared_results"]
+    return result.results[:declared], mem, prog
+
+
+@pytest.fixture
+def run():
+    return run_main

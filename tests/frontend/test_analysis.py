@@ -1,0 +1,141 @@
+"""Unit tests for the use/def and order-token analysis."""
+
+import pytest
+
+from repro.frontend import analysis as an
+from repro.frontend.ast import (
+    Assign,
+    For,
+    Function,
+    If,
+    Module,
+    Return,
+    Store,
+    While,
+)
+from repro.frontend.dsl import c, load, v
+
+
+def ctx(ordered=()):
+    return an.AnalysisContext(ordered_arrays=set(ordered))
+
+
+def test_expr_uses_in_order():
+    ud = an.expr_use_def(v("a") + v("b") * v("a"), ctx())
+    assert ud.uses == ["a", "b"]
+
+
+def test_load_of_ordered_array_uses_and_defines_token():
+    ud = an.expr_use_def(load("A", v("i")), ctx(ordered=["A"]))
+    assert an.ord_var("A") in ud.uses
+    assert an.ord_var("A") in ud.must_defs
+
+
+def test_load_of_unordered_array_has_no_token():
+    ud = an.expr_use_def(load("A", v("i")), ctx())
+    assert ud.uses == ["i"]
+    assert not ud.must_defs
+
+
+def test_two_loads_single_token_use():
+    e = load("A", c(0)) + load("A", c(1))
+    ud = an.expr_use_def(e, ctx(ordered=["A"]))
+    assert ud.uses.count(an.ord_var("A")) == 1
+
+
+def test_assign_defines():
+    ud = an.stmt_use_def(Assign("x", v("y") + 1), ctx())
+    assert ud.uses == ["y"]
+    assert ud.must_defs == ["x"]
+
+
+def test_store_threads_token():
+    ud = an.stmt_use_def(Store("A", v("i"), v("x")), ctx(ordered=["A"]))
+    assert an.ord_var("A") in ud.uses
+    assert an.ord_var("A") in ud.must_defs
+
+
+def test_if_must_defs_are_intersection():
+    s = If(v("c") > 0,
+           [Assign("x", c(1)), Assign("y", c(2))],
+           [Assign("x", c(3))])
+    ud = an.stmt_use_def(s, ctx())
+    assert "x" in ud.must_defs
+    assert "y" not in ud.must_defs
+    assert "y" in ud.may_defs
+
+
+def test_loop_defs_are_only_may():
+    s = While(v("n") > 0, [Assign("x", c(1)), Assign("n", v("n") - 1)])
+    ud = an.stmt_use_def(s, ctx())
+    assert "x" not in ud.must_defs
+    assert "x" in ud.may_defs
+    assert "n" in ud.uses  # the condition reads it on entry
+
+
+def test_for_counter_shadows_body_uses():
+    s = For("i", 0, v("n"), [Assign("x", v("i") * 2)])
+    ud = an.stmt_use_def(s, ctx())
+    assert "i" not in ud.uses
+    assert "n" in ud.uses
+    assert "i" in ud.must_defs  # the init always runs
+
+
+def test_parallel_annotation_excludes_token():
+    s = For("i", 0, v("n"), [Store("A", v("i"), v("i"))],
+            parallel=("A",))
+    ud = an.stmt_use_def(s, ctx(ordered=["A"]))
+    assert an.ord_var("A") not in ud.uses
+    assert an.ord_var("A") not in ud.may_defs
+
+
+def test_stmts_sequence_shadowing():
+    stmts = [Assign("x", v("a")), Assign("y", v("x") + v("b"))]
+    ud = an.stmts_use_def(stmts, ctx())
+    assert ud.uses == ["a", "b"]
+    assert set(ud.must_defs) == {"x", "y"}
+
+
+def test_stored_arrays_scan():
+    mod = Module([
+        Function("main", ["n"], [
+            Store("A", c(0), c(1)),
+            If(v("n") > 0, [Store("B", c(0), c(1))]),
+            For("i", 0, v("n"), [Store("C", v("i"), c(0))]),
+            Return([c(0)]),
+        ]),
+    ], arrays=[])
+    assert an.stored_arrays(mod) == {"A", "B", "C"}
+
+
+def test_function_order_rejects_cycles():
+    from repro.frontend.ast import Call
+    mod = Module([
+        Function("a", ["x"], [Call(["r"], "b", [v("x")]),
+                              Return([v("r")])]),
+        Function("b", ["x"], [Call(["r"], "a", [v("x")]),
+                              Return([v("r")])]),
+        Function("main", ["x"], [Call(["r"], "a", [v("x")]),
+                                 Return([v("r")])]),
+    ])
+    from repro.errors import ProgramError
+    with pytest.raises(ProgramError, match="recursive"):
+        an.function_order(mod)
+
+
+def test_function_order_callees_first():
+    from repro.frontend.ast import Call
+    mod = Module([
+        Function("main", ["x"], [Call(["r"], "h", [v("x")]),
+                                 Return([v("r")])]),
+        Function("h", ["x"], [Return([v("x") + 1])]),
+    ])
+    order = [f.name for f in an.function_order(mod)]
+    assert order.index("h") < order.index("main")
+
+
+def test_ord_var_helpers():
+    assert an.ord_var("A") == "$ord:A"
+    assert an.is_ord_var("$ord:A")
+    assert not an.is_ord_var("A")
+    assert an.ord_array("$ord:A") == "A"

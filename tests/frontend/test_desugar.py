@@ -1,0 +1,174 @@
+"""Break/Continue desugaring, checked against Python semantics on all
+machine models."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.frontend.ast import (
+    Assign,
+    For,
+    Function,
+    If,
+    Module,
+    Return,
+    While,
+)
+from repro.frontend.desugar import Break, Continue, expand_break_continue
+from repro.frontend.dsl import c, v
+from repro.frontend.lower import lower_module
+from repro.harness.runner import PAPER_SYSTEMS, CompiledWorkload
+from repro.sim.memory import Memory
+
+
+def run_all_machines(module, args):
+    cw = CompiledWorkload(lower_module(module))
+    results = set()
+    for machine in PAPER_SYSTEMS:
+        res = cw.run(machine, Memory(), args)
+        assert res.completed, machine
+        results.add(res.extra["declared_results"])
+    assert len(results) == 1, results
+    return results.pop()
+
+
+def python_oracle(n):
+    """The behavior the break/continue test programs encode."""
+    total = 0
+    for i in range(n):
+        if i == 7:
+            break
+        if i % 2 == 0:
+            continue
+        total += i
+    return total, i if n else None
+
+
+def test_break_stops_loop():
+    mod = Module([
+        Function("main", ["n"], [
+            Assign("total", c(0)),
+            For("i", 0, v("n"), [
+                If(v("i") == c(7), [Break()]),
+                Assign("total", v("total") + v("i")),
+            ]),
+            Return([v("total")]),
+        ]),
+    ])
+    assert run_all_machines(mod, [100]) == (sum(range(7)),)
+    assert run_all_machines(mod, [4]) == (sum(range(4)),)
+    assert run_all_machines(mod, [0]) == (0,)
+
+
+def test_break_preserves_counter_value():
+    mod = Module([
+        Function("main", ["n"], [
+            For("i", 0, v("n"), [
+                If(v("i") == c(5), [Break()]),
+            ]),
+            Return([v("i")]),
+        ]),
+    ])
+    # Like C: break leaves the counter at its current value.
+    assert run_all_machines(mod, [100]) == (5,)
+    assert run_all_machines(mod, [3]) == (3,)
+
+
+def test_continue_skips_rest_of_body():
+    mod = Module([
+        Function("main", ["n"], [
+            Assign("total", c(0)),
+            For("i", 0, v("n"), [
+                If(v("i") % 2 == c(0), [Continue()]),
+                Assign("total", v("total") + v("i")),
+            ]),
+            Return([v("total")]),
+        ]),
+    ])
+    assert run_all_machines(mod, [10]) == (1 + 3 + 5 + 7 + 9,)
+
+
+def test_break_and_continue_together():
+    mod = Module([
+        Function("main", ["n"], [
+            Assign("total", c(0)),
+            For("i", 0, v("n"), [
+                If(v("i") == c(7), [Break()]),
+                If(v("i") % 2 == c(0), [Continue()]),
+                Assign("total", v("total") + v("i")),
+            ]),
+            Return([v("total")]),
+        ]),
+    ])
+    expect = python_oracle(20)[0]
+    assert run_all_machines(mod, [20]) == (expect,)
+
+
+def test_break_binds_to_innermost_loop():
+    mod = Module([
+        Function("main", ["n"], [
+            Assign("total", c(0)),
+            For("i", 0, v("n"), [
+                For("j", 0, v("n"), [
+                    If(v("j") == c(2), [Break()]),
+                    Assign("total", v("total") + 1),
+                ]),
+            ]),
+            Return([v("total")]),
+        ]),
+    ])
+    # Inner loop contributes 2 per outer iteration.
+    assert run_all_machines(mod, [5]) == (10,)
+
+
+def test_break_in_while():
+    mod = Module([
+        Function("main", ["x"], [
+            Assign("steps", c(0)),
+            While(v("x") > 0, [
+                If(v("steps") == c(3), [Break()]),
+                Assign("x", v("x") - 1),
+                Assign("steps", v("steps") + 1),
+            ]),
+            Return([v("x")]),
+        ]),
+    ])
+    assert run_all_machines(mod, [10]) == (7,)
+    assert run_all_machines(mod, [2]) == (0,)
+
+
+def test_statements_after_escape_are_dropped():
+    mod = Module([
+        Function("main", ["n"], [
+            Assign("total", c(0)),
+            For("i", 0, v("n"), [
+                Break(),
+                Assign("total", c(999)),  # unreachable
+            ]),
+            Return([v("total")]),
+        ]),
+    ])
+    expanded = expand_break_continue(mod)
+    assert run_all_machines(expanded, [5]) == (0,)
+
+
+def test_break_outside_loop_rejected():
+    mod = Module([
+        Function("main", ["n"], [Break(), Return([c(0)])]),
+    ])
+    with pytest.raises(ProgramError, match="break outside"):
+        lower_module(mod)
+
+
+def test_continue_outside_loop_rejected():
+    mod = Module([
+        Function("main", ["n"], [Continue(), Return([c(0)])]),
+    ])
+    with pytest.raises(ProgramError, match="continue outside"):
+        lower_module(mod)
+
+
+def test_no_op_when_no_escapes():
+    mod = Module([
+        Function("main", ["n"], [Return([v("n") + 1])]),
+    ])
+    assert expand_break_continue(mod) is mod

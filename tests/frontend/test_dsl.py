@@ -1,0 +1,103 @@
+"""Unit tests for expression sugar and AST constructors."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.frontend.ast import (
+    BinOp,
+    Cond,
+    Const,
+    Function,
+    LoadExpr,
+    Module,
+    Name,
+    Return,
+    UnOp,
+    as_expr,
+)
+from repro.frontend.dsl import c, load, v
+
+
+def test_operator_sugar_builds_binops():
+    e = v("x") + 1
+    assert isinstance(e, BinOp) and e.op == "+"
+    assert isinstance(e.rhs, Const) and e.rhs.value == 1
+    assert isinstance((v("x") * v("y")).lhs, Name)
+    assert (v("x") - 2).op == "-"
+    assert (v("x") / 2).op == "/"
+    assert (v("x") % 2).op == "%"
+    assert (v("x") << 1).op == "<<"
+    assert (v("x") >> 1).op == ">>"
+    assert (v("x") & 1).op == "&"
+    assert (v("x") | 1).op == "|"
+    assert (v("x") ^ 1).op == "^"
+
+
+def test_reflected_operators():
+    e = 3 + v("x")
+    assert isinstance(e, BinOp) and e.op == "+"
+    assert isinstance(e.lhs, Const) and e.lhs.value == 3
+    assert (10 - v("x")).lhs.value == 10
+    assert (2 * v("x")).lhs.value == 2
+
+
+def test_comparison_sugar():
+    assert (v("x") < 1).op == "<"
+    assert (v("x") <= 1).op == "<="
+    assert (v("x") > 1).op == ">"
+    assert (v("x") >= 1).op == ">="
+    # Equality builds expressions too (eq=False dataclasses).
+    assert (v("x") == 1).op == "=="
+    assert (v("x") != 1).op == "!="
+    assert v("x").eq(1).op == "=="
+    assert v("x").ne(1).op == "!="
+
+
+def test_min_max_neg():
+    assert v("x").min(3).op == "min"
+    assert v("x").max(3).op == "max"
+    assert isinstance(-v("x"), UnOp)
+    assert v("x").logical_not().op == "not"
+
+
+def test_as_expr_coercions():
+    assert as_expr(True).value == 1
+    assert as_expr(3).value == 3
+    assert as_expr(2.5).value == 2.5
+    with pytest.raises(ProgramError):
+        as_expr("strings are not expressions")
+
+
+def test_bad_operator_spelling_rejected():
+    with pytest.raises(ProgramError, match="operator"):
+        BinOp("**", v("x"), v("y"))
+    with pytest.raises(ProgramError, match="operator"):
+        UnOp("~", v("x"))
+
+
+def test_load_helper():
+    e = load("A", v("i") + 1)
+    assert isinstance(e, LoadExpr)
+    assert e.array == "A"
+
+
+def test_module_validation():
+    with pytest.raises(ProgramError, match="entry"):
+        Module([Function("helper", ["x"], [Return([v("x")])])])
+    with pytest.raises(ProgramError, match="duplicate"):
+        Module([
+            Function("main", ["x"], [Return([v("x")])]),
+            Function("main", ["y"], [Return([v("y")])]),
+        ])
+
+
+def test_function_return_placement_checked():
+    with pytest.raises(ProgramError, match="single Return"):
+        Function("f", ["x"], [Return([v("x")]), Return([v("x")])])
+
+
+def test_module_function_lookup():
+    m = Module([Function("main", ["x"], [Return([v("x")])])])
+    assert m.function("main").name == "main"
+    with pytest.raises(ProgramError):
+        m.function("nope")

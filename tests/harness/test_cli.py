@@ -1,0 +1,71 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "dmv" in out
+    assert "tyr" in out
+    assert "fig12" in out
+
+
+def test_run_command(capsys):
+    assert main(["run", "dmv", "--scale", "tiny", "-m", "tyr",
+                 "--tags", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "tyr:" in out
+    assert "outputs verified" in out
+
+
+def test_run_defaults_to_paper_systems(capsys):
+    assert main(["run", "dmv", "--scale", "tiny"]) == 0
+    out = capsys.readouterr().out
+    for machine in ("vn:", "seqdf:", "ordered:", "unordered:", "tyr:"):
+        assert machine in out
+
+
+def test_run_reports_deadlock(capsys):
+    assert main(["run", "dmv", "--scale", "tiny", "-m",
+                 "unordered-bounded", "--total-tags", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "DEADLOCK" in out
+
+
+def test_experiment_command(capsys):
+    assert main(["experiment", "tab01"]) == 0
+    out = capsys.readouterr().out
+    assert "allocate" in out
+    assert "changeTag" in out
+
+
+def test_inspect_command(capsys, tmp_path):
+    dot = tmp_path / "g.dot"
+    assert main(["inspect", "dmv", "--dot", str(dot)]) == 0
+    out = capsys.readouterr().out
+    assert "loop" in out
+    assert "elaborated:" in out
+    assert dot.read_text().startswith("digraph")
+
+
+def test_trace_command(capsys, tmp_path):
+    dot = tmp_path / "t.dot"
+    assert main(["trace", "dmv", "-m", "tyr", "--tags", "4",
+                 "--dot", str(dot)]) == 0
+    out = capsys.readouterr().out
+    assert "events over" in out
+    assert "completed: True" in out
+    assert "rank=same" in dot.read_text()
+
+
+def test_bad_workload_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "nope"])
+
+
+def test_bad_scale_is_clean_error(capsys):
+    assert main(["run", "dmv", "--scale", "galactic"]) == 1
+    assert "error:" in capsys.readouterr().err

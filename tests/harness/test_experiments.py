@@ -1,0 +1,68 @@
+"""Every experiment driver regenerates its figure/table at tiny scale
+and reports well-formed data."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.harness.experiments import (
+    EXPERIMENTS,
+    ExperimentReport,
+    get_experiment,
+)
+
+# Scales small enough for unit testing; shape assertions live in
+# benchmarks/ where the default scales run.
+FAST_KWARGS = {
+    "ext-depth": {"scale": "tiny"},
+    "ext-latency": {"scale": "tiny", "latencies": (1, 4)},
+    "ext-store": {"scale": "tiny"},
+    "fig02": {"scale": "tiny"},
+    "fig05": {"scale": "tiny"},
+    "fig09": {"scale": "tiny", "tag_counts": (2, 8)},
+    "fig11": {"scale": "tiny", "sizes": (4, 8)},
+    "fig12": {"scale": "tiny"},
+    "fig13": {"scale": "tiny", "apps": ("dmv", "tc")},
+    "fig14": {"scale": "tiny"},
+    "fig15": {"scale": "tiny", "widths": (16, 128)},
+    "fig16": {"scale": "tiny", "tag_counts": (2, 16)},
+    "fig17": {"scale": "tiny", "widths": (8, 32),
+              "tag_counts": (2, 8)},
+    "fig18": {"scale": "small", "workload": "dmv"},
+    "tab01": {},
+    "tab02": {"scale": "tiny"},
+}
+
+
+def test_registry_covers_every_paper_artifact():
+    assert set(EXPERIMENTS) == set(FAST_KWARGS)
+
+
+@pytest.mark.parametrize("name", sorted(FAST_KWARGS))
+def test_experiment_runs_and_reports(name):
+    report = get_experiment(name)(**FAST_KWARGS[name])
+    assert isinstance(report, ExperimentReport)
+    assert report.name == name
+    assert report.data
+    assert report.text.strip()
+    assert report.paper_expectation
+    assert name in str(report)
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(ReproError, match="unknown experiment"):
+        get_experiment("fig99")
+
+
+def test_fig12_data_structure():
+    report = get_experiment("fig12")(scale="tiny")
+    assert set(report.data["cycles"])  # apps present
+    for per in report.data["cycles"].values():
+        assert set(per) == {"vn", "seqdf", "ordered", "unordered",
+                            "tyr"}
+    assert "vn" in report.data["speedups"]
+
+
+def test_fig11_reports_deadlock_at_tiny_scale():
+    report = get_experiment("fig11")(scale="tiny", sizes=(4,))
+    assert report.data["deadlocked"] is True
+    assert report.data["tyr_completed"] is True

@@ -1,0 +1,94 @@
+"""Unit tests for the runner and sweep helpers."""
+
+import pytest
+
+from repro.errors import ReproError, SimulationError
+from repro.frontend.lower import lower_module
+from repro.harness.runner import (
+    MACHINES,
+    PAPER_SYSTEMS,
+    CompiledWorkload,
+    run_program,
+)
+from repro.harness.sweep import (
+    min_global_tags_to_complete,
+    run_machines,
+    sweep_issue_width,
+    sweep_tags,
+    sweep_width_x_tags,
+)
+from repro.sim.memory import Memory
+from repro.workloads import build_workload
+
+from tests.conftest import sum_loop_module
+
+
+def test_machine_lists_consistent():
+    assert set(PAPER_SYSTEMS) <= set(MACHINES)
+    assert len(PAPER_SYSTEMS) == 5
+
+
+def test_compiled_workload_caches_artifacts():
+    cw = CompiledWorkload(lower_module(sum_loop_module()))
+    assert cw.tagged is cw.tagged
+    assert cw.flat is cw.flat
+
+
+def test_entry_args_padding_and_overflow():
+    cw = CompiledWorkload(lower_module(sum_loop_module()))
+    assert cw.entry_args([5]) == [5]
+    with pytest.raises(SimulationError):
+        cw.entry_args([1, 2, 3, 4, 5])
+
+
+def test_unknown_machine_rejected():
+    cw = CompiledWorkload(lower_module(sum_loop_module()))
+    with pytest.raises(SimulationError, match="unknown machine"):
+        cw.run("gpu", Memory(), [5])
+
+
+def test_run_program_one_shot():
+    res = run_program(lower_module(sum_loop_module()), "tyr",
+                      Memory(), [5], tags=2)
+    assert res.completed
+    assert res.machine == "tyr"
+    assert res.extra["declared_results"] == (10,)
+
+
+def test_result_machine_renamed():
+    cw = CompiledWorkload(lower_module(sum_loop_module()))
+    res = cw.run("unordered", Memory(), [5])
+    assert res.machine == "unordered"
+
+
+def test_run_machines_checked():
+    wl = build_workload("dmv", "tiny")
+    out = run_machines(wl, ("vn", "tyr"))
+    assert set(out) == {"vn", "tyr"}
+    assert out["vn"].cycles > out["tyr"].cycles
+
+
+def test_sweep_tags_ordering():
+    wl = build_workload("dmv", "tiny")
+    swept = sweep_tags(wl, (2, 16))
+    assert swept[2].cycles >= swept[16].cycles
+    assert swept[2].peak_live <= swept[16].peak_live
+
+
+def test_sweep_issue_width():
+    wl = build_workload("dmv", "tiny")
+    swept = sweep_issue_width(wl, (8, 64), ("tyr",))
+    assert swept["tyr"][8].cycles >= swept["tyr"][64].cycles
+
+
+def test_sweep_width_x_tags_grid():
+    wl = build_workload("dmv", "tiny")
+    grid = sweep_width_x_tags(wl, (8, 32), (2, 8))
+    assert set(grid) == {(8, 2), (8, 8), (32, 2), (32, 8)}
+
+
+def test_min_global_tags_scan():
+    wl = build_workload("dmv", "tiny")
+    outcome = min_global_tags_to_complete(wl, (4, 256))
+    assert outcome[4] is False  # deadlocks
+    assert outcome[256] is True

@@ -1,0 +1,76 @@
+"""Unit tests for the reference interpreter (golden model)."""
+
+import pytest
+
+from repro.errors import MemoryError_, SimulationError
+from repro.frontend.lower import lower_module
+from repro.ir.interp import ReferenceInterpreter
+from repro.ir.ops import Op
+
+from tests.conftest import (
+    dmv_expected,
+    dmv_memory,
+    dmv_module,
+    sum_loop_module,
+)
+
+
+def test_counts_dynamic_ops_and_contexts():
+    prog = lower_module(sum_loop_module())
+    res = ReferenceInterpreter(prog, {}).run([5])
+    assert res.results == (10,)
+    assert res.dynamic_ops > 0
+    assert res.dynamic_contexts["main"] == 1
+    loop = next(n for n in res.dynamic_contexts if n != "main")
+    assert res.dynamic_contexts[loop] == 5
+    assert res.op_counts[Op.ADD] >= 10  # acc and counter adds
+
+
+def test_untaken_branches_not_executed():
+    from repro.frontend.ast import Assign, Function, If, Module, Return
+    from repro.frontend.dsl import c, v
+
+    mod = Module([
+        Function("main", ["x"], [
+            Assign("y", c(0)),
+            If(v("x") > 0,
+               [Assign("y", v("x") * 2)],
+               [Assign("y", v("x") * 3)]),
+            Return([v("y")]),
+        ]),
+    ])
+    prog = lower_module(mod)
+    pos = ReferenceInterpreter(prog, {}).run([5])
+    neg = ReferenceInterpreter(prog, {}).run([-5])
+    assert pos.results == (10,)
+    assert neg.results == (-15,)
+    # Untaken side skipped: fewer ops than both sides combined.
+    total_muls = pos.op_counts[Op.MUL]
+    assert total_muls == 1
+
+
+def test_memory_faults_are_reported():
+    prog = lower_module(dmv_module())
+    with pytest.raises(MemoryError_):
+        # Arrays too small for n=8.
+        ReferenceInterpreter(prog, {"A": [1], "B": [1], "w": [0]}).run([8])
+
+
+def test_step_limit_guard():
+    prog = lower_module(sum_loop_module())
+    with pytest.raises(SimulationError, match="steps"):
+        ReferenceInterpreter(prog, {}, max_steps=5).run([100])
+
+
+def test_wrong_arity_rejected():
+    prog = lower_module(sum_loop_module())
+    with pytest.raises(SimulationError, match="args"):
+        ReferenceInterpreter(prog, {}).run([])
+
+
+def test_matches_numpy_on_dmv():
+    n = 6
+    mem = dmv_memory(n)
+    prog = lower_module(dmv_module())
+    ReferenceInterpreter(prog, mem).run([n])
+    assert mem["w"] == dmv_expected(mem, n)

@@ -1,0 +1,97 @@
+"""Unit tests for the opcode registry (paper Table I)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.ir.ops import (
+    CONTEXT_IR_OPS,
+    FLAT_GRAPH_OPS,
+    OP_INFO,
+    TAGGED_GRAPH_OPS,
+    Category,
+    Op,
+    evaluate_pure,
+    op_info,
+)
+
+
+def test_every_opcode_has_info():
+    for op in Op:
+        info = op_info(op)
+        assert info.op is op
+        assert isinstance(info.category, Category)
+
+
+def test_pure_ops_have_evaluators():
+    for op, info in OP_INFO.items():
+        if info.pure:
+            assert info.evaluate is not None
+            assert info.n_inputs is not None
+
+
+@pytest.mark.parametrize(
+    "op,args,expect",
+    [
+        (Op.ADD, (2, 3), 5),
+        (Op.SUB, (2, 3), -1),
+        (Op.MUL, (4, 3), 12),
+        (Op.DIV, (7, 2), 3),
+        (Op.DIV, (-7, 2), -3),  # C-style truncation
+        (Op.DIV, (7.0, 2), 3.5),
+        (Op.MOD, (7, 3), 1),
+        (Op.MOD, (-7, 3), -1),  # C-style sign
+        (Op.SHL, (1, 4), 16),
+        (Op.SHR, (16, 2), 4),
+        (Op.BAND, (6, 3), 2),
+        (Op.BOR, (4, 1), 5),
+        (Op.BXOR, (6, 3), 5),
+        (Op.NOT, (0,), 1),
+        (Op.NOT, (7,), 0),
+        (Op.NEG, (5,), -5),
+        (Op.LT, (1, 2), 1),
+        (Op.LE, (2, 2), 1),
+        (Op.GT, (1, 2), 0),
+        (Op.GE, (2, 3), 0),
+        (Op.EQ, (4, 4), 1),
+        (Op.NE, (4, 4), 0),
+        (Op.MIN, (4, 9), 4),
+        (Op.MAX, (4, 9), 9),
+        (Op.SELECT, (1, 10, 20), 10),
+        (Op.SELECT, (0, 10, 20), 20),
+        (Op.COPY, (42,), 42),
+    ],
+)
+def test_pure_semantics(op, args, expect):
+    assert evaluate_pure(op, *args) == expect
+
+
+def test_division_by_zero_raises():
+    with pytest.raises(SimulationError):
+        evaluate_pure(Op.DIV, 1, 0)
+    with pytest.raises(SimulationError):
+        evaluate_pure(Op.MOD, 1, 0)
+
+
+def test_evaluate_pure_rejects_impure():
+    with pytest.raises(ValueError):
+        evaluate_pure(Op.LOAD, 0)
+
+
+def test_comparisons_return_ints_not_bools():
+    assert evaluate_pure(Op.LT, 1, 2) == 1
+    assert type(evaluate_pure(Op.LT, 1, 2)) is int
+    assert type(evaluate_pure(Op.NOT, 0)) is int
+
+
+def test_instruction_families_cover_paper_table_one():
+    # Table I: arithmetic, memory, control flow, token synchronization.
+    assert {Op.LOAD, Op.STORE} <= TAGGED_GRAPH_OPS
+    assert {Op.STEER, Op.JOIN} <= TAGGED_GRAPH_OPS
+    sync = {Op.ALLOCATE, Op.FREE, Op.CHANGE_TAG, Op.EXTRACT_TAG}
+    assert sync <= TAGGED_GRAPH_OPS
+    # Token-sync ops never appear in the context IR or flat graphs.
+    assert not sync & CONTEXT_IR_OPS
+    assert not sync & FLAT_GRAPH_OPS
+    # Loop gates are exclusive to flat graphs.
+    assert {Op.MU, Op.INVARIANT} <= FLAT_GRAPH_OPS
+    assert not {Op.MU, Op.INVARIANT} & CONTEXT_IR_OPS

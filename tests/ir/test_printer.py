@@ -1,0 +1,50 @@
+"""Unit tests for IR pretty-printing and dot export."""
+
+from repro.frontend.lower import lower_module
+from repro.ir.printer import format_block, format_program, to_dot
+
+from tests.conftest import dmv_module, sum_loop_module
+
+
+def test_format_program_mentions_all_blocks_and_arrays():
+    prog = lower_module(dmv_module())
+    text = format_program(prog)
+    for name in prog.blocks:
+        assert name in text
+    for array in ("A", "B", "w"):
+        assert f"array {array}" in text
+    assert "read-only" in text
+
+
+def test_format_block_shows_terminators():
+    prog = lower_module(dmv_module())
+    entry_text = format_block(prog.entry_block())
+    assert "return" in entry_text
+    loop = next(b for n, b in prog.blocks.items() if n != "main")
+    loop_text = format_block(loop)
+    assert "loop-if" in loop_text
+
+
+def test_format_block_shows_tag_override():
+    from repro.frontend.ast import Assign, For, Function, Module, Return
+    from repro.frontend.dsl import c, v
+
+    mod = Module([
+        Function("main", ["n"], [
+            Assign("a", c(0)),
+            For("i", 0, v("n"), [Assign("a", v("a") + 1)], tags=8),
+            Return([v("a")]),
+        ]),
+    ])
+    prog = lower_module(mod)
+    loop = next(b for n, b in prog.blocks.items() if n != "main")
+    assert "tags=8" in format_block(loop)
+
+
+def test_dot_export_is_well_formed():
+    prog = lower_module(sum_loop_module())
+    dot = to_dot(prog)
+    assert dot.startswith("digraph")
+    assert dot.rstrip().endswith("}")
+    assert dot.count("subgraph cluster_") == len(prog.blocks)
+    assert "->" in dot

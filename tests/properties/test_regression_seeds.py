@@ -1,0 +1,60 @@
+"""Regression corpus: random-program seeds that exposed real bugs.
+
+Each of these seeds crashed or deadlocked some stage during
+development (see docs/ARCHITECTURE.md section 4 for the bug classes):
+barrier starvation on loop-terminator sides, shared destination-list
+aliasing across call sites, conditional steer outputs attached to
+barriers, orphaned allocate waiters, dead loop blocks, conditionally
+defined loop carries/results, flat-graph all-immediate instructions,
+and mu-gate activation confusion. They are pinned here so none of
+those bugs can silently return.
+"""
+
+import pytest
+
+from repro.compiler.verify import verify_tagged_graph
+from repro.frontend.lower import lower_module
+from repro.harness.runner import CompiledWorkload, PAPER_SYSTEMS
+from repro.ir.interp import ReferenceInterpreter
+from repro.sim.memory import Memory
+from repro.workloads.randomprog import random_memory, random_module
+
+REGRESSION_SEEDS = (
+    1,      # barrier join starved by loop-terminator sides
+    7,      # dead (never-spawned) loop block reached the elaborator
+    8,      # shared param-feed list aliased across call sites;
+            # flat graph: all-immediate node from literal call args
+    9,      # loop result only conditionally defined (carry analysis)
+    13,     # allocate waiter orphaned by stale waiting flag
+    28,     # combination of the above under tag pressure
+    34,     # dangling conditional steer output attached to barrier
+    36,     # barrier coverage across nested loops in a helper
+    112,    # mu gates across repeated loop activations
+    114,    # loop inlined with all-immediate arguments
+    122,    # flat-graph stall from folded call arguments
+    129,    # flat-graph stall (load feeding inlined helper)
+    204,    # mu/store interaction under FIFO back-pressure
+    296,    # steer stall in inlined conditional
+    48015,  # may-defined loop result with no reaching original
+)
+
+
+@pytest.mark.parametrize("seed", REGRESSION_SEEDS)
+def test_regression_seed_all_machines(seed):
+    module = random_module(seed)
+    prog = lower_module(module)
+    cw = CompiledWorkload(prog)
+    verify_tagged_graph(cw.tagged)
+    mem0 = Memory(random_memory())
+    ref = ReferenceInterpreter(prog, mem0).run(cw.entry_args([3, 5]))
+    want = cw.declared_results(ref.results)
+    for machine in PAPER_SYSTEMS:
+        mem = Memory(random_memory())
+        kwargs = (
+            {"tags": 2, "check_token_bound": True}
+            if machine == "tyr" else {}
+        )
+        res = cw.run(machine, mem, [3, 5], **kwargs)
+        assert res.completed, (seed, machine)
+        assert res.extra["declared_results"] == want, (seed, machine)
+        assert mem.snapshot() == mem0.snapshot(), (seed, machine)

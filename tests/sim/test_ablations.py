@@ -1,0 +1,107 @@
+"""Ablations of TYR's allocate rules (paper Lemmas 1 and 2).
+
+TYR's deadlock freedom rests on two allocation rules:
+
+* **ready-gating** (Lemma 1): the last tag of a pool is granted only
+  to a context whose inputs have all arrived;
+* **spare tag** (Lemma 2): external allocates into tail-recursive
+  blocks leave one tag in reserve for the backedge.
+
+These tests disable each rule individually and exhibit programs that
+then deadlock, while full TYR completes -- empirical evidence that
+neither rule is incidental.
+"""
+
+import pytest
+
+from repro.errors import DeadlockError
+from repro.frontend.ast import Assign, Call, For, Function, Module, Return
+from repro.frontend.dsl import c, v
+from repro.frontend.lower import lower_module
+from repro.harness.runner import CompiledWorkload
+from repro.sim.memory import Memory
+from repro.sim.tagged import TaggedEngine
+from repro.sim.tagged.tagspace import AblatedTyrPolicy, TyrPolicy
+
+from tests.conftest import dmv_memory, dmv_module
+
+
+def run_policy(module, args, policy, memory=None):
+    cw = CompiledWorkload(lower_module(module))
+    engine = TaggedEngine(cw.tagged, Memory(memory or {}), policy)
+    return engine.run(cw.entry_args(args))
+
+
+def lemma1_module():
+    """Call site 1's first argument is slow (a loop result); sites 2
+    and 3 request tags immediately but are only ready once site 1's
+    result arrives. Without ready-gating they claim both tags of f's
+    pool and starve site 1."""
+    return Module([
+        Function("f", ["a", "b"], [Return([v("a") + v("b")])]),
+        Function("main", ["p"], [
+            Assign("q", c(0)),
+            For("i", 0, c(20), [Assign("q", v("q") + v("i"))]),
+            Call(["x"], "f", [v("q"), v("p")]),
+            Call(["y"], "f", [v("p"), v("x")]),
+            Call(["z"], "f", [v("p"), v("y")]),
+            Return([v("z")]),
+        ]),
+    ])
+
+
+def test_dropping_ready_gating_deadlocks():
+    with pytest.raises(DeadlockError):
+        run_policy(lemma1_module(), [7],
+                   AblatedTyrPolicy(2, drop="ready"))
+
+
+def test_full_tyr_completes_lemma1_scenario():
+    res = run_policy(lemma1_module(), [7], TyrPolicy(2))
+    assert res.completed
+    assert res.results[0] == (sum(range(20)) + 7) + 7 + 7
+
+
+def test_dropping_spare_tag_deadlocks_on_nested_loops():
+    with pytest.raises(DeadlockError):
+        run_policy(dmv_module(), [8],
+                   AblatedTyrPolicy(2, drop="spare"),
+                   memory=dmv_memory(8))
+
+
+def test_full_tyr_completes_nested_loops():
+    res = run_policy(dmv_module(), [8], TyrPolicy(2),
+                     memory=dmv_memory(8))
+    assert res.completed
+
+
+def test_ablated_policies_on_random_programs():
+    """Across a corpus of random programs the spare-rule ablation
+    deadlocks on some; full TYR never does (Theorem 1)."""
+    from repro.workloads.randomprog import random_memory, random_module
+
+    spare_deadlocks = 0
+    for seed in range(60):
+        module = random_module(seed)
+        cw = CompiledWorkload(lower_module(module))
+        full = TaggedEngine(cw.tagged, Memory(random_memory()),
+                            TyrPolicy(2))
+        assert full.run(cw.entry_args([3, 5])).completed, seed
+        try:
+            ablated = TaggedEngine(cw.tagged, Memory(random_memory()),
+                                   AblatedTyrPolicy(2, drop="spare"))
+            ablated.run(cw.entry_args([3, 5]))
+        except DeadlockError:
+            spare_deadlocks += 1
+    assert spare_deadlocks > 0
+
+
+def test_invalid_drop_rejected():
+    from repro.errors import SimulationError
+    with pytest.raises(SimulationError):
+        AblatedTyrPolicy(2, drop="everything")
+
+
+def test_policy_names_describe_drop():
+    assert "nospare" in AblatedTyrPolicy(2, drop="spare").describe()
+    assert "noready" in AblatedTyrPolicy(2, drop="ready").describe()

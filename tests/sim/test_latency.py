@@ -1,0 +1,69 @@
+"""Unit tests for the memory-latency model."""
+
+import pytest
+
+from repro.harness.runner import PAPER_SYSTEMS
+from repro.sim.latency import load_delay
+from repro.workloads import build_workload
+
+
+def test_latency_one_is_identity():
+    assert load_delay(1, "A", 0) == 1
+    assert load_delay(0, "A", 99) == 1
+
+
+def test_latency_deterministic_and_bounded():
+    for idx in range(200):
+        a = load_delay(16, "A", idx)
+        b = load_delay(16, "A", idx)
+        assert a == b
+        assert 1 <= a <= 16
+
+
+def test_latency_mixes_hits_and_misses():
+    delays = [load_delay(16, "A", i) for i in range(200)]
+    assert any(d == 1 for d in delays)
+    assert any(d > 4 for d in delays)
+
+
+def test_latency_varies_by_array():
+    assert any(
+        load_delay(16, "A", i) != load_delay(16, "B", i)
+        for i in range(50)
+    )
+
+
+@pytest.mark.parametrize("machine", PAPER_SYSTEMS + ("ooo", "datapar"))
+def test_all_machines_correct_under_latency(machine):
+    wl = build_workload("smv", "tiny")
+    res = wl.run_checked(machine, load_latency=8)
+    assert res.completed
+
+
+@pytest.mark.parametrize("machine", PAPER_SYSTEMS)
+def test_latency_never_speeds_execution_up(machine):
+    wl = build_workload("dmv", "tiny")
+    fast = wl.run_checked(machine, load_latency=1)
+    slow = wl.run_checked(machine, load_latency=16)
+    assert slow.cycles >= fast.cycles
+
+
+def test_tagged_dataflow_tolerates_latency_best():
+    wl = build_workload("tc", "small")
+    factors = {}
+    for machine in ("ordered", "tyr"):
+        base = wl.run_checked(machine, load_latency=1,
+                              sample_traces=False)
+        slow = wl.run_checked(machine, load_latency=16,
+                              sample_traces=False)
+        factors[machine] = slow.cycles / base.cycles
+    assert factors["tyr"] < factors["ordered"]
+
+
+def test_latency_preserves_ordered_fifo_semantics():
+    """Variable-latency responses must re-enter queues in issue order
+    (head-of-line blocking): results stay oracle-exact."""
+    for name in ("smv", "spmspm", "tc", "spmspv-scatter"):
+        wl = build_workload(name, "tiny")
+        res = wl.run_checked("ordered", load_latency=13)
+        assert res.completed

@@ -1,0 +1,79 @@
+"""Unit tests for the memory model and metrics recorder."""
+
+import pytest
+
+from repro.errors import MemoryError_
+from repro.sim.memory import Memory
+from repro.sim.metrics import ExecutionResult, MetricsRecorder
+
+
+def test_memory_bind_load_store():
+    mem = Memory({"A": [1, 2, 3]})
+    assert mem.load("A", 1) == 2
+    mem.store("A", 0, 9)
+    assert mem["A"] == [9, 2, 3]
+    assert mem.loads == 1 and mem.stores == 1
+
+
+def test_memory_bounds_checked():
+    mem = Memory({"A": [1, 2, 3]})
+    with pytest.raises(MemoryError_):
+        mem.load("A", 3)
+    with pytest.raises(MemoryError_):
+        mem.load("A", -1)
+    with pytest.raises(MemoryError_):
+        mem.store("A", "x", 0)
+
+
+def test_memory_unbound_array():
+    mem = Memory()
+    with pytest.raises(MemoryError_):
+        mem.load("ghost", 0)
+    assert mem.get("ghost") is None
+    assert "ghost" not in mem
+
+
+def test_memory_snapshot_is_deep():
+    mem = Memory({"A": [1, 2]})
+    snap = mem.snapshot()
+    mem.store("A", 0, 99)
+    assert snap["A"] == [1, 2]
+
+
+def test_memory_rebind():
+    mem = Memory({"A": [1]})
+    mem.bind("A", [5, 6])
+    assert mem["A"] == [5, 6]
+    assert mem.array_names() == ["A"]
+
+
+def test_recorder_basic_sampling():
+    rec = MetricsRecorder()
+    rec.sample(fired=3, live=10)
+    rec.sample(fired=1, live=4)
+    res = rec.result("m", True, (42,))
+    assert res.cycles == 2
+    assert res.instructions == 4
+    assert res.peak_live == 10
+    assert res.mean_live == 7.0
+    assert res.mean_ipc == 2.0
+    assert res.ipc_trace == [3, 1]
+    assert "ok" in res.summary()
+
+
+def test_recorder_without_traces_keeps_aggregates():
+    rec = MetricsRecorder(sample_traces=False)
+    rec.sample(fired=3, live=10)
+    rec.sample(fired=1, live=4)
+    res = rec.result("m", True, ())
+    assert res.ipc_trace == [] and res.live_trace == []
+    assert res.peak_live == 10
+    assert res.mean_live == 7.0
+
+
+def test_empty_result_defaults():
+    res = ExecutionResult("m", False, 0, 0, (), [], [])
+    assert res.peak_live == 0
+    assert res.mean_live == 0.0
+    assert res.mean_ipc == 0.0
+    assert "DEADLOCK" in res.summary()

@@ -1,0 +1,125 @@
+"""Unit tests for tag pools and allocation policies (paper Sec. IV-A)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.tagged.tagspace import (
+    BoundedGlobalPolicy,
+    KBoundedPolicy,
+    TagPool,
+    TyrPolicy,
+    UnboundedGlobalPolicy,
+)
+
+
+def test_gated_pool_base_rule():
+    pool = TagPool("b", 2, gated=True)
+    # More than one tag free: immediate pop allowed.
+    assert pool.can_pop(ready=False, spare=False)
+    pool.pop()
+    # Exactly one tag left: only a ready context may take it.
+    assert not pool.can_pop(ready=False, spare=False)
+    assert pool.can_pop(ready=True, spare=False)
+
+
+def test_gated_pool_spare_rule():
+    """External allocates into tail-recursive blocks keep one tag in
+    reserve (paper Lemma 2)."""
+    pool = TagPool("loop", 2, gated=True)
+    # Two free: a ready external context may enter (leaving the spare).
+    assert not pool.can_pop(ready=False, spare=True)
+    assert pool.can_pop(ready=True, spare=True)
+    pool.pop()
+    # One free: the spare is never given to an external allocate...
+    assert not pool.can_pop(ready=True, spare=True)
+    # ...but the backedge may take it when ready.
+    assert pool.can_pop(ready=True, spare=False)
+
+
+def test_gated_pool_three_tags_immediate_spare():
+    pool = TagPool("loop", 3, gated=True)
+    assert pool.can_pop(ready=False, spare=True)
+
+
+def test_greedy_pool_ignores_gating():
+    pool = TagPool("g", 1, gated=False)
+    assert pool.can_pop(ready=False, spare=True)
+    pool.pop()
+    assert not pool.can_pop(ready=True, spare=False)
+
+
+def test_pop_free_roundtrip_and_stats():
+    pool = TagPool("p", 4, gated=True)
+    tags = [pool.pop(), pool.pop(), pool.pop()]
+    assert len(set(tags)) == 3
+    assert pool.in_use == 3 and pool.peak_in_use == 3
+    for t in tags:
+        pool.push(t)
+    assert pool.in_use == 0
+    assert pool.total_allocations == 3
+
+
+def test_double_free_rejected():
+    pool = TagPool("p", 2, gated=True)
+    t = pool.pop()
+    pool.push(t)
+    with pytest.raises(SimulationError):
+        pool.push(t)
+
+
+def test_foreign_tag_free_rejected():
+    pool = TagPool("p", 2, gated=True)
+    pool.pop()
+    with pytest.raises(SimulationError):
+        pool.push(99)
+
+
+def test_unbounded_pool_unique_tags():
+    pool = TagPool("u", None, gated=False)
+    tags = [pool.pop() for _ in range(100)]
+    assert len(set(tags)) == 100
+    assert pool.can_pop(ready=False, spare=True)
+    pool.push(tags[0])  # no-op for unbounded pools
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(SimulationError):
+        TagPool("p", 0, gated=True)
+
+
+def test_policies_build_expected_pools():
+    blocks = ["main", "main.loop1", "main.loop2"]
+    overrides = {"main": None, "main.loop1": 8, "main.loop2": None}
+
+    tyr = TyrPolicy(64).build_pools(blocks, overrides)
+    assert len({id(p) for p in tyr.values()}) == 3  # one per block
+    assert tyr["main.loop1"].capacity == 8  # program override
+    assert tyr["main"].capacity == 64
+    assert all(p.gated for p in tyr.values())
+
+    glob = UnboundedGlobalPolicy().build_pools(blocks, overrides)
+    assert len({id(p) for p in glob.values()}) == 1
+    assert next(iter(glob.values())).capacity is None
+
+    bounded = BoundedGlobalPolicy(8).build_pools(blocks, overrides)
+    assert len({id(p) for p in bounded.values()}) == 1
+    assert next(iter(bounded.values())).capacity == 8
+    assert not next(iter(bounded.values())).gated
+
+    kb = KBoundedPolicy(16).build_pools(blocks, overrides)
+    assert len({id(p) for p in kb.values()}) == 3
+    assert not any(p.gated for p in kb.values())
+
+
+def test_tyr_rejects_single_tag():
+    with pytest.raises(SimulationError):
+        TyrPolicy(1)
+    with pytest.raises(SimulationError):
+        TyrPolicy(4).build_pools(["b"], {"b": 1})
+
+
+def test_user_override_beats_program_override():
+    pools = TyrPolicy(64, overrides={"b": 16}).build_pools(
+        ["b"], {"b": 8}
+    )
+    assert pools["b"].capacity == 16

@@ -1,0 +1,90 @@
+"""Unit tests for dynamic execution-graph recording (paper Figs. 4/5)."""
+
+import pytest
+
+from repro.frontend.lower import lower_module
+from repro.harness.runner import CompiledWorkload
+from repro.sim.memory import Memory
+from repro.sim.tagged import TaggedEngine, TyrPolicy, UnboundedGlobalPolicy
+
+from tests.conftest import dmv_memory, dmv_module, sum_loop_module
+
+
+def traced_run(module, args, policy, memory=None, **kwargs):
+    cw = CompiledWorkload(lower_module(module))
+    engine = TaggedEngine(cw.tagged, Memory(memory or {}), policy,
+                          record_trace=True, **kwargs)
+    result = engine.run(cw.entry_args(args))
+    return result, engine.trace
+
+
+def test_event_count_close_to_instruction_count():
+    # Allocate control emissions (late-ready) fire without a separate
+    # trace event, so the trace slightly under-counts instructions.
+    res, trace = traced_run(sum_loop_module(), [5], TyrPolicy(4))
+    assert len(trace.events) <= res.instructions
+    assert len(trace.events) >= res.instructions * 0.8
+    assert trace.duration <= res.cycles
+
+
+def test_edges_are_causal():
+    _, trace = traced_run(sum_loop_module(), [6], TyrPolicy(4))
+    for src, dst in trace.edges:
+        assert trace.events[src].cycle < trace.events[dst].cycle
+
+
+def test_parallelism_profile_sums_to_events():
+    res, trace = traced_run(dmv_module(), [4], TyrPolicy(4),
+                            memory=dmv_memory(4))
+    profile = trace.parallelism_profile()
+    assert sum(profile) == len(trace.events)
+    assert max(profile) <= res.extra["issue_width"]
+
+
+def test_trace_height_reflects_architecture():
+    """Unordered dataflow's trace is taller and narrower than a
+    throttled TYR's (the paper's Figs. 1/5 shape argument)."""
+    _, wide = traced_run(dmv_module(), [6], UnboundedGlobalPolicy(),
+                         memory=dmv_memory(6))
+    _, narrow = traced_run(dmv_module(), [6], TyrPolicy(2),
+                           memory=dmv_memory(6))
+    assert max(wide.parallelism_profile()) > max(
+        narrow.parallelism_profile()
+    )
+    assert wide.duration < narrow.duration
+
+
+def test_live_cut_tracks_live_trace():
+    """The number of edges crossing a cycle cut approximates the
+    engine's live-token count at that cycle (the paper's definition).
+    It is a slight under-approximation: discarded tokens and allocate
+    request/ready tokens do not become trace edges."""
+    cw = CompiledWorkload(lower_module(sum_loop_module()))
+    engine = TaggedEngine(cw.tagged, Memory(), TyrPolicy(4),
+                          record_trace=True)
+    result = engine.run([6])
+    trace = engine.trace
+    for cycle in (2, 5, 10):
+        cut = trace.live_cut(cycle)
+        live = result.live_trace[cycle]
+        assert abs(cut - live) <= 2
+
+
+def test_dot_rendering():
+    _, trace = traced_run(sum_loop_module(), [3], TyrPolicy(2))
+    dot = trace.to_dot()
+    assert dot.startswith("digraph")
+    assert "rank=same" in dot
+    assert "->" in dot
+    with pytest.raises(ValueError, match="too large"):
+        trace.to_dot(max_events=1)
+
+
+def test_events_carry_block_and_tag():
+    _, trace = traced_run(sum_loop_module(), [4], TyrPolicy(3))
+    blocks = {e.block for e in trace.events}
+    assert "main" in blocks
+    assert any(b != "main" for b in blocks)  # the loop's block
+    tags = {e.tag for e in trace.events if e.block != "main"
+            and e.block != "<root>"}
+    assert len(tags) <= 3  # TYR reuses its 3 tags

@@ -1,0 +1,121 @@
+"""Unit tests for the data-parallel (vector) machine model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.frontend.lower import lower_module
+from repro.ir.program import BlockKind
+from repro.sim.vector.analysis import classify_loop
+from repro.workloads import WORKLOAD_NAMES, build_workload
+
+from tests.conftest import dmv_module, sum_loop_module
+
+
+def loops_of(module):
+    prog = lower_module(module)
+    return {name: block for name, block in prog.blocks.items()
+            if block.kind is BlockKind.LOOP}
+
+
+def test_reduction_loop_is_vectorizable():
+    loops = loops_of(sum_loop_module())
+    (block,) = loops.values()
+    info = classify_loop(block)
+    assert info is not None
+    kinds = {role.kind for role in info.roles}
+    assert "reduction" in kinds
+    assert "induction" in kinds
+
+
+def test_dmv_inner_loop_vectorizable_outer_not():
+    loops = loops_of(dmv_module())
+    infos = {name: classify_loop(b) for name, b in loops.items()}
+    vectorizable = [n for n, i in infos.items() if i is not None]
+    # The dot-product loop vectorizes; the outer loop (containing a
+    # nested spawn) does not.
+    assert len(vectorizable) == 1
+    assert "for_j" in vectorizable[0]
+
+
+def test_serial_memory_chain_not_vectorizable():
+    from repro.frontend.ast import (
+        ArraySpec, For, Function, Module, Return, Store,
+    )
+    from repro.frontend.dsl import c, load, v
+
+    mod = Module(
+        [Function("main", ["n"], [
+            For("i", 0, v("n"), [
+                Store("A", c(0), load("A", c(0)) + v("i")),
+            ]),
+            Return([c(0)]),
+        ])],
+        arrays=[ArraySpec("A", length=1)],
+    )
+    loops = loops_of(mod)
+    assert all(classify_loop(b) is None for b in loops.values())
+
+
+def test_data_dependent_while_not_vectorizable():
+    from repro.frontend.ast import Assign, Function, Module, Return, While
+    from repro.frontend.dsl import c, v
+
+    mod = Module([
+        Function("main", ["x"], [
+            Assign("s", c(0)),
+            While(v("x") > 1, [
+                Assign("x", v("x") / 2),
+                Assign("s", v("s") + 1),
+            ]),
+            Return([v("s")]),
+        ]),
+    ])
+    loops = loops_of(mod)
+    assert all(classify_loop(b) is None for b in loops.values())
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_datapar_correct_on_all_workloads(name):
+    wl = build_workload(name, "tiny")
+    res = wl.run_checked("datapar")
+    assert res.completed
+
+
+def test_dense_kernels_vectorize_sparse_fall_back():
+    dense = build_workload("dmv", "tiny").run_checked("datapar")
+    assert dense.extra["vectorized_trips"] > 0
+    for irregular in ("spmspm", "tc"):
+        res = build_workload(irregular, "tiny").run_checked("datapar")
+        assert res.extra["vectorized_trips"] == 0
+        assert res.mean_ipc <= 1.0  # pure scalar fallback
+
+
+def test_more_lanes_speed_up_dense_only():
+    dmv = build_workload("dmv", "small")
+    narrow = dmv.run_checked("datapar", issue_width=4)
+    wide = dmv.run_checked("datapar", issue_width=64)
+    assert wide.cycles < narrow.cycles
+
+    tc = build_workload("tc", "tiny")
+    narrow = tc.run_checked("datapar", issue_width=4)
+    wide = tc.run_checked("datapar", issue_width=64)
+    assert wide.cycles == narrow.cycles  # nothing to vectorize
+
+
+def test_datapar_state_scales_with_lanes_not_problem():
+    wl = build_workload("dmv", "small")
+    res4 = wl.run_checked("datapar", issue_width=4)
+    res64 = wl.run_checked("datapar", issue_width=64)
+    assert res64.peak_live > res4.peak_live  # vector registers
+    # ...but far below unordered dataflow's explosion.
+    unordered = wl.run_checked("unordered")
+    assert res64.peak_live < unordered.peak_live
+
+
+def test_bad_lanes_rejected():
+    from repro.sim.memory import Memory
+    from repro.sim.vector import DataParallelEngine
+
+    prog = lower_module(sum_loop_module())
+    with pytest.raises(SimulationError):
+        DataParallelEngine(prog, Memory(), lanes=0)

@@ -1,0 +1,27 @@
+"""Every shipped example must run to completion (they self-assert
+their numeric claims internally)."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys, monkeypatch, tmp_path):
+    # Examples that write .dot files should do so in a temp directory.
+    monkeypatch.chdir(tmp_path)
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip()  # every example narrates its results
+
+
+def test_examples_exist_and_cover_required_scenarios():
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names
+    assert len(names) >= 3  # deliverable: quickstart + >= 2 scenarios

@@ -1,0 +1,71 @@
+"""Extra workloads (bfs, histogram, spmspv-scatter) and the ooo
+machine configuration."""
+
+import pytest
+
+from repro.harness.runner import PAPER_SYSTEMS
+from repro.workloads import build_workload
+from repro.workloads.extra import bfs_ref, histogram_ref
+from repro.workloads.registry import EXTRA_WORKLOADS
+
+
+@pytest.mark.parametrize("machine", PAPER_SYSTEMS + ("ooo", "datapar"))
+@pytest.mark.parametrize("name", EXTRA_WORKLOADS)
+def test_extras_match_oracle_on_all_machines(name, machine):
+    wl = build_workload(name, "tiny")
+    res = wl.run_checked(machine)
+    assert res.completed
+
+
+def test_bfs_reference_on_path_graph():
+    # 0-1-2-3 path.
+    indptr = [0, 1, 3, 5, 6]
+    indices = [1, 0, 2, 1, 3, 2]
+    assert bfs_ref(indptr, indices) == [0, 1, 2, 3]
+
+
+def test_bfs_reference_disconnected():
+    indptr = [0, 1, 2, 2]
+    indices = [1, 0]
+    assert bfs_ref(indptr, indices) == [0, 1, -1]
+
+
+def test_histogram_reference():
+    assert histogram_ref([0, 16, 32, 1]) == (
+        [3, 1] + [0] * 14
+    )
+
+
+def test_bfs_visits_whole_small_world():
+    wl = build_workload("bfs", "tiny")
+    res, mem = wl.run("vn")
+    # Watts-Strogatz graphs are connected: every vertex reached.
+    assert res.extra["declared_results"][0] == wl.params["n"]
+    assert all(d >= 0 for d in mem["dist"])
+
+
+def test_serial_chains_erase_dataflow_advantage():
+    """BFS's frontier queue and histogram's scatter updates serialize
+    tagged dataflow; the block-window machines keep pace -- the
+    counterpoint motivating the paper's Sec. VIII-B future work."""
+    for name in ("bfs", "histogram"):
+        wl = build_workload(name, "small")
+        unordered = wl.run_checked("unordered")
+        seqdf = wl.run_checked("seqdf")
+        assert unordered.cycles > 0.5 * seqdf.cycles  # no blowout win
+
+
+def test_ooo_sits_between_vn_and_seqdf():
+    wl = build_workload("dmv", "small")
+    vn = wl.run_checked("vn")
+    ooo = wl.run_checked("ooo")
+    seqdf = wl.run_checked("seqdf")
+    assert seqdf.cycles <= ooo.cycles <= vn.cycles
+    assert max(ooo.ipc_trace) <= 4
+
+
+def test_ooo_correct_on_paper_suite():
+    from repro.workloads import WORKLOAD_NAMES
+    for name in WORKLOAD_NAMES:
+        res = build_workload(name, "tiny").run_checked("ooo")
+        assert res.completed

@@ -1,0 +1,95 @@
+"""Every Table II workload, on every machine, matches the numpy oracle."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.harness.runner import PAPER_SYSTEMS
+from repro.ir.interp import ReferenceInterpreter
+from repro.workloads import WORKLOAD_NAMES, build_workload
+from repro.workloads.registry import EXTRA_WORKLOADS
+
+ALL_NAMES = WORKLOAD_NAMES + EXTRA_WORKLOADS
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_reference_interpreter_matches_oracle(name):
+    wl = build_workload(name, "tiny")
+    mem = wl.fresh_memory()
+    result = ReferenceInterpreter(wl.compiled.program, mem).run(
+        wl.compiled.entry_args(wl.args)
+    )
+    wl.check(mem, wl.compiled.declared_results(result.results))
+
+
+@pytest.mark.parametrize("machine", PAPER_SYSTEMS)
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_machine_matches_oracle(name, machine):
+    wl = build_workload(name, "tiny")
+    res = wl.run_checked(machine)
+    assert res.completed
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_tyr_with_two_tags_completes(name):
+    wl = build_workload(name, "tiny")
+    res = wl.run_checked("tyr", tags=2, check_token_bound=True)
+    assert res.completed
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_different_seeds_change_inputs(name):
+    a = build_workload(name, "tiny", seed=0)
+    b = build_workload(name, "tiny", seed=99)
+    assert a.initial_memory != b.initial_memory
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(ReproError, match="unknown workload"):
+        build_workload("nope")
+    with pytest.raises(ReproError, match="unknown scale"):
+        build_workload("dmv", "galactic")
+
+
+def test_scale_overrides():
+    wl = build_workload("dmv", "tiny", n=5)
+    assert wl.params["n"] == 5
+    assert wl.args == [5]
+
+
+def test_check_catches_wrong_memory():
+    wl = build_workload("dmv", "tiny")
+    mem = wl.fresh_memory()
+    res = wl.run("vn")[0]
+    mem2 = wl.fresh_memory()
+    mem2["w"][0] = -12345
+    with pytest.raises(ReproError, match="mismatch"):
+        wl.check(mem2, res.extra["declared_results"])
+
+
+def test_check_catches_wrong_result():
+    wl = build_workload("tc", "tiny")
+    res, mem = wl.run("vn")
+    with pytest.raises(ReproError):
+        wl.check(mem, (res.extra["declared_results"][0] + 1,))
+
+
+def test_paper_parameters_table():
+    from repro.workloads import paper_parameters
+    for name in WORKLOAD_NAMES:
+        assert paper_parameters(name)
+
+
+def test_tc_counts_triangles_of_known_graph():
+    # A 4-clique has exactly 4 triangles.
+    from repro.workloads.reference import tc_ref
+    indptr = [0, 3, 6, 9, 12]
+    indices = [1, 2, 3, 0, 2, 3, 0, 1, 3, 0, 1, 2]
+    assert tc_ref(indptr, indices) == 4
+
+
+def test_dconv_reference_identity_filter():
+    from repro.workloads.reference import dconv_ref
+    image = list(range(16))
+    filt = [0, 0, 0, 0, 1, 0, 0, 0, 0]
+    out = dconv_ref(image, filt, 4, 4, 3, 3)
+    assert out == [5, 6, 9, 10]

@@ -1,0 +1,77 @@
+"""Unit tests for the random program generator itself."""
+
+import pytest
+
+from repro.frontend.ast import Assign, For, Function, If, Module, While
+from repro.frontend.lower import lower_module
+from repro.ir.interp import ReferenceInterpreter
+from repro.workloads.randomprog import (
+    MEM_LEN,
+    random_memory,
+    random_module,
+)
+
+
+def test_deterministic_per_seed():
+    a = random_module(42)
+    b = random_module(42)
+    prog_a = lower_module(a)
+    prog_b = lower_module(b)
+    from repro.ir.printer import format_program
+    assert format_program(prog_a) == format_program(prog_b)
+
+
+def test_different_seeds_differ():
+    from repro.ir.printer import format_program
+    texts = {format_program(lower_module(random_module(s)))
+             for s in range(10)}
+    assert len(texts) > 5
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_every_seed_lowers_and_terminates(seed):
+    prog = lower_module(random_module(seed))
+    mem = random_memory()
+    res = ReferenceInterpreter(prog, mem, max_steps=2_000_000).run(
+        [3, 5] + [0] * (prog.entry_block().n_params - 2)
+    )
+    assert res.dynamic_ops > 0
+
+
+def test_loop_counters_never_reassigned():
+    """Termination relies on loop counters being read-only in bodies."""
+
+    def check(stmts, protected):
+        for s in stmts:
+            if isinstance(s, Assign):
+                assert s.name not in protected
+            elif isinstance(s, If):
+                check(s.then, protected)
+                check(s.orelse, protected)
+            elif isinstance(s, For):
+                check(s.body, protected | {s.var})
+            elif isinstance(s, While):
+                # The final decrement is allowed; it is appended by the
+                # generator itself.
+                counter = s.body[-1].name
+                check(s.body[:-1], protected | {counter})
+
+    for seed in range(40):
+        for fn in random_module(seed).functions:
+            check(fn.body, set())
+
+
+def test_memory_accesses_masked_in_bounds():
+    for seed in range(20):
+        prog = lower_module(random_module(seed))
+        mem = random_memory()
+        ReferenceInterpreter(prog, mem).run(
+            [7, -8] + [0] * (prog.entry_block().n_params - 2)
+        )
+        assert len(mem["M"]) == MEM_LEN
+
+
+def test_options_disable_features():
+    mod = random_module(5, allow_memory=False, allow_calls=False)
+    assert len(mod.functions) == 1
+    assert not mod.arrays
