@@ -26,8 +26,11 @@ def test_tagged_engine_throughput(benchmark):
     instrs_per_sec = result.instructions / benchmark.stats["mean"]
     print(f"\n  {result.instructions} instructions simulated; "
           f"~{instrs_per_sec / 1000:.0f}k instructions/host-second")
-    # Guard against order-of-magnitude regressions.
-    assert instrs_per_sec > 20_000
+    # Guard against order-of-magnitude regressions.  The dispatch-table
+    # engines sustain ~800k instr/s on a 2026 host; 80k leaves 10x
+    # headroom for slow CI machines while still catching a fall back to
+    # pre-overhaul interpreter-style dispatch.
+    assert instrs_per_sec > 80_000
 
 
 def test_ordered_engine_throughput(benchmark):
@@ -43,4 +46,4 @@ def test_ordered_engine_throughput(benchmark):
 
     result = benchmark.pedantic(simulate, iterations=1, rounds=5)
     assert result.completed
-    assert result.instructions / benchmark.stats["mean"] > 20_000
+    assert result.instructions / benchmark.stats["mean"] > 80_000

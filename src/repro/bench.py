@@ -1,0 +1,166 @@
+"""Host-throughput benchmark for the simulation engines.
+
+Measures simulated instructions per host-second on representative
+workloads (one dense, one sparse) for the tagged and queued engines,
+writes a ``BENCH_*.json`` record, and fails (exit 1) when any case
+regresses more than ``--threshold`` versus the most recent existing
+record -- so engine hot-path changes land with before/after evidence::
+
+    PYTHONPATH=src python -m repro.bench --out BENCH_$(date +%F).json
+
+Each case runs ``--rounds`` times and keeps the fastest round (host
+timing noise only adds time, never removes it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import platform
+import sys
+import time
+from typing import Dict, Optional
+
+from repro.sim.memory import Memory  # noqa: F401  (re-export for tooling)
+from repro.sim.queued import QueuedEngine
+from repro.sim.tagged import TaggedEngine, TyrPolicy
+from repro.workloads import build_workload
+
+#: (workload, scale, machine) cases tracked by the benchmark record.
+CASES = (
+    ("dmv", "small", "tyr"),
+    ("dmv", "small", "ordered"),
+    ("smv", "small", "tyr"),
+    ("smv", "small", "ordered"),
+)
+
+DEFAULT_THRESHOLD = 0.30
+
+
+def _run_case(name: str, scale: str, machine: str,
+              rounds: int) -> Dict[str, object]:
+    wl = build_workload(name, scale)
+    args = wl.compiled.entry_args(wl.args)
+    if machine == "ordered":
+        graph = wl.compiled.flat
+
+        def simulate():
+            return QueuedEngine(graph, wl.fresh_memory(),
+                                sample_traces=False).run(args)
+    else:
+        graph = wl.compiled.tagged
+
+        def simulate():
+            return TaggedEngine(graph, wl.fresh_memory(), TyrPolicy(64),
+                                sample_traces=False).run(args)
+
+    best = float("inf")
+    instructions = 0
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        result = simulate()
+        elapsed = time.perf_counter() - t0
+        if not result.completed:
+            raise RuntimeError(f"{name}/{scale}/{machine} deadlocked")
+        instructions = result.instructions
+        best = min(best, elapsed)
+    return {
+        "instructions": instructions,
+        "best_seconds": round(best, 6),
+        "instrs_per_sec": round(instructions / best, 1),
+    }
+
+
+def _latest_baseline(out_path: str) -> Optional[str]:
+    """Most recently written BENCH_*.json, excluding the output file."""
+    records = [p for p in glob.glob("BENCH_*.json")
+               if os.path.abspath(p) != os.path.abspath(out_path)]
+    if not records:
+        return None
+    return max(records, key=os.path.getmtime)
+
+
+def _check_regressions(cases: Dict[str, Dict[str, object]],
+                       baseline_path: str, threshold: float) -> bool:
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    ok = True
+    for key, rec in cases.items():
+        base = baseline.get("cases", {}).get(key)
+        if not base:
+            continue
+        now = rec["instrs_per_sec"]
+        then = base["instrs_per_sec"]
+        ratio = now / then if then else 1.0
+        marker = ""
+        if ratio < 1.0 - threshold:
+            ok = False
+            marker = "  <-- REGRESSION"
+        print(f"  {key}: {now / 1000:.0f}k instr/s "
+              f"(baseline {then / 1000:.0f}k, {ratio:.2f}x){marker}")
+    return ok
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Benchmark simulator host throughput.")
+    ap.add_argument("--out", default=None,
+                    help="write the JSON record here "
+                         "(default BENCH_<date>.json)")
+    ap.add_argument("--rounds", type=int, default=3,
+                    help="timed rounds per case; fastest wins")
+    ap.add_argument("--baseline", default=None,
+                    help="compare against this record instead of the "
+                         "most recent BENCH_*.json")
+    ap.add_argument("--threshold", type=float,
+                    default=DEFAULT_THRESHOLD,
+                    help="tolerated fractional slowdown per case")
+    ns = ap.parse_args(argv)
+    if ns.rounds < 1:
+        ap.error("--rounds must be >= 1")
+    if ns.baseline and not os.path.exists(ns.baseline):
+        ap.error(f"baseline record not found: {ns.baseline}")
+
+    out = ns.out or time.strftime("BENCH_%Y-%m-%d.json")
+    record = {
+        "date": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "rounds": ns.rounds,
+        "cases": {},
+    }
+    for name, scale, machine in CASES:
+        key = f"{name}/{scale}/{machine}"
+        rec = _run_case(name, scale, machine, ns.rounds)
+        record["cases"][key] = rec
+        print(f"{key}: {rec['instrs_per_sec'] / 1000:.0f}k instr/s "
+              f"({rec['instructions']} instrs, "
+              f"best {rec['best_seconds'] * 1000:.1f} ms)")
+
+    baseline = ns.baseline or _latest_baseline(out)
+    ok = True
+    if baseline:
+        print(f"\nversus {baseline} "
+              f"(threshold {ns.threshold:.0%} slowdown):")
+        ok = _check_regressions(record["cases"], baseline,
+                                ns.threshold)
+    else:
+        print("\nno earlier BENCH_*.json record; skipping "
+              "regression check")
+
+    with open(out, "w") as fh:
+        json.dump(record, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {out}")
+    if not ok:
+        print("FAIL: throughput regression beyond threshold",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

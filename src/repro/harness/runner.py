@@ -111,6 +111,7 @@ class CompiledWorkload:
             sample_traces: bool = True,
             check_token_bound: bool = False,
             track_occupancy: bool = False,
+            record_trace: bool = False,
             load_latency: int = 1,
             max_cycles: int = 50_000_000) -> ExecutionResult:
         """Run this workload on ``machine`` and return its metrics.
@@ -127,12 +128,13 @@ class CompiledWorkload:
             elif machine == "tyr":
                 policy = TyrPolicy(tags, overrides=tag_overrides)
             else:
-                policy = KBoundedPolicy(tags)
+                policy = KBoundedPolicy(tags, overrides=tag_overrides)
             engine = TaggedEngine(
                 self.tagged, memory, policy, issue_width=issue_width,
                 sample_traces=sample_traces,
                 check_token_bound=check_token_bound,
                 track_occupancy=track_occupancy,
+                record_trace=record_trace,
                 load_latency=load_latency,
                 max_cycles=max_cycles,
             )

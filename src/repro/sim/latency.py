@@ -12,6 +12,21 @@ synchronization scheme tolerates memory variance.
 
 from __future__ import annotations
 
+import zlib
+
+#: Array name -> stable 32-bit hash. Python's ``hash(str)`` is
+#: randomized per process (PYTHONHASHSEED), which made latency>1 runs
+#: unreproducible across processes; crc32 keeps the same hit/miss mix
+#: everywhere and lets golden metrics pin variable-latency runs.
+_ARRAY_HASH: dict = {}
+
+
+def _array_hash(array: str) -> int:
+    h = _ARRAY_HASH.get(array)
+    if h is None:
+        h = _ARRAY_HASH[array] = zlib.crc32(array.encode("utf-8"))
+    return h
+
 
 def load_delay(load_latency: int, array: str, index: int) -> int:
     """Latency of one load, deterministic in (array, index).
@@ -19,10 +34,11 @@ def load_delay(load_latency: int, array: str, index: int) -> int:
     Returns 1 when ``load_latency <= 1`` (the paper's idealized
     model); otherwise a pseudo-random value in [1, load_latency],
     skewed so roughly half the accesses are fast (cache-hit-like).
+    The value is stable across host processes (no builtin ``hash``).
     """
     if load_latency <= 1:
         return 1
-    h = (hash(array) * 1000003 + index * 2654435761) & 0xFFFFFFFF
+    h = (_array_hash(array) * 1000003 + index * 2654435761) & 0xFFFFFFFF
     h ^= h >> 15
     if h & 1:
         return 1  # hit

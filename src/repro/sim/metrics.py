@@ -76,6 +76,23 @@ class MetricsRecorder:
             self.ipc_trace.append(fired)
             self.live_trace.append(live)
 
+    def sample_idle(self, live: int, n_cycles: int) -> None:
+        """Record ``n_cycles`` stalled cycles (nothing fired) at once.
+
+        Exactly equivalent to ``n_cycles`` calls of ``sample(0, live)``
+        -- the engines use it to fast-forward memory stalls without
+        paying one Python iteration per idle cycle.
+        """
+        if n_cycles <= 0:
+            return
+        self.cycles += n_cycles
+        if live > self._peak_live:
+            self._peak_live = live
+        self._live_sum += live * n_cycles
+        if self.sample_traces:
+            self.ipc_trace.extend([0] * n_cycles)
+            self.live_trace.extend([live] * n_cycles)
+
     def result(self, machine: str, completed: bool,
                results: Tuple[object, ...],
                extra: Optional[Dict[str, object]] = None

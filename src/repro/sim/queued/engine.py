@@ -11,12 +11,19 @@ parallelism loss the paper attributes to ordered dataflow (Fig. 5d).
 pop the initial value, then for each loop decider pop-and-forward a
 backedge value (true) or pop-and-discard it and re-arm for the next
 activation (false).
+
+Hot-path layout (see docs/ARCHITECTURE.md, "Simulator performance"):
+firing goes through a per-node dispatch table of closures that bind
+the node's input deques, immediates, and destination deques at
+construction, so a firing attempt does no opcode dispatch and no
+``fifos[nid][port]`` indexing; same-cycle token visibility is tracked
+in an int-keyed counter map instead of ``(node, port)`` tuples.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Set, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.errors import DeadlockError, SimulationError
 from repro.compiler.flatten import FlatGraph
@@ -31,7 +38,11 @@ _MU_LOOP = 1  # waiting for a decider (and possibly a backedge value)
 
 
 class QueuedEngine:
-    """Simulates one execution of a flat graph with FIFO channels."""
+    """Simulates one execution of a flat graph with FIFO channels.
+
+    The engine binds ``memory`` and the graph tables into per-node
+    closures at construction; neither may be swapped afterwards.
+    """
 
     def __init__(self, graph: FlatGraph, memory: Memory,
                  queue_depth: int = 4, issue_width: int = 128,
@@ -54,7 +65,6 @@ class QueuedEngine:
         self._edges = [nd.out_edges for nd in graph.nodes]
         self._n_inputs = [nd.n_inputs for nd in graph.nodes]
         self._attrs = [nd.attrs for nd in graph.nodes]
-        self._token_ports = [nd.token_ports for nd in graph.nodes]
         # fifos[node][port] -> deque (None for immediate ports)
         self._fifos: List[List[Optional[Deque]]] = []
         for nd in graph.nodes:
@@ -71,9 +81,10 @@ class QueuedEngine:
         self._mu_state: Dict[int, int] = {
             nd.node_id: _MU_INIT for nd in graph.nodes if nd.op is Op.MU
         }
-        self._live = 0
+        self._livebox: List[int] = [0]
         self._results: Dict[int, object] = dict(graph.const_results)
-        self._candidates: Set[int] = set()
+        # Candidate nodes for the NEXT cycle. The set object is
+        # captured by the per-node closures: mutate in place only.
         self._next_candidates: Set[int] = set()
         #: Per-load-node in-flight response queues. Responses are
         #: delivered in issue order (head-of-line blocking), because a
@@ -82,7 +93,32 @@ class QueuedEngine:
         self._inflight: Dict[int, Deque[Tuple[int, object]]] = {}
         # Tokens pushed this cycle become visible next cycle
         # (single-cycle latency, matching the tagged engine's timing).
-        self._fresh: Dict[Tuple[int, int], int] = {}
+        # Keyed by node_id * stride + port (ints hash faster than
+        # tuples and are precomputed per edge).
+        self._fresh: Dict[int, int] = {}
+        self._stride = max(self._n_inputs, default=1) or 1
+        #: Destination descriptors per (node, out port):
+        #: (dest deque, fresh key, dest node id).
+        self._dests: List[List[List[Tuple[Deque, int, int]]]] = [
+            [
+                [(self._fifos[d][p], d * self._stride + p, d)
+                 for d, p in port_edges]
+                for port_edges in nd.out_edges
+            ]
+            for nd in graph.nodes
+        ]
+        self._try_fire_fns: List[Callable[[], bool]] = [
+            self._make_try_fire(nid) for nid in range(n)
+        ]
+
+    # ------------------------------------------------------------------
+    @property
+    def _live(self) -> int:
+        return self._livebox[0]
+
+    @_live.setter
+    def _live(self, value: int) -> None:
+        self._livebox[0] = value
 
     # ------------------------------------------------------------------
     def run(self, args: List[object]) -> ExecutionResult:
@@ -94,26 +130,46 @@ class QueuedEngine:
         for value, dests in zip(args, self.graph.entry_sources):
             for dest_id, port in dests:
                 self._fifos[dest_id][port].append(value)
-                self._live += 1
+                self._livebox[0] += 1
                 self._next_candidates.add(dest_id)
 
         completed = False
+        metrics = self.metrics
+        sample = metrics.sample
+        nc = self._next_candidates
+        nc_add = nc.add
+        fresh = self._fresh
+        livebox = self._livebox
+        try_fns = self._try_fire_fns
+        issue_width = self.issue_width
+        max_cycles = self.max_cycles
         while True:
-            self._candidates = self._next_candidates
-            self._next_candidates = set()
-            self._fresh.clear()
-            self._deliver_memory_responses()
-            fired = self._run_cycle()
-            if fired == 0 and not self._next_candidates:
+            # Deterministic order: ascending node id.
+            candidates = sorted(nc)
+            nc.clear()
+            fresh.clear()
+            if self._inflight:
+                self._deliver_memory_responses()
+            fired = 0
+            budget = issue_width
+            for nid in candidates:
+                if budget == 0:
+                    nc_add(nid)
+                elif try_fns[nid]():
+                    fired += 1
+                    budget -= 1
+                    # It may be able to fire again next cycle.
+                    nc_add(nid)
+            if fired == 0 and not nc:
                 if self._inflight:
-                    self.metrics.sample(0, self._live)
+                    self._stall_for_memory()
                     continue
-                if self._live == 0:
+                if livebox[0] == 0:
                     completed = True
                     break
                 self._raise_deadlock()
-            self.metrics.sample(fired, self._live)
-            if self.metrics.cycles >= self.max_cycles:
+            sample(fired, livebox[0])
+            if metrics.cycles >= max_cycles:
                 raise SimulationError(
                     f"exceeded max_cycles={self.max_cycles}"
                 )
@@ -125,9 +181,24 @@ class QueuedEngine:
                  "issue_width": self.issue_width}
         return self.metrics.result("ordered", completed, results, extra)
 
+    def _stall_for_memory(self) -> None:
+        """Idle until the earliest in-flight load response matures.
+
+        Equivalent to sampling ``(0, live)`` once per stalled cycle,
+        but batched; unlike the original per-cycle loop it enforces
+        ``max_cycles``, so a simulation can no longer spin past its
+        cycle budget inside a memory stall.
+        """
+        metrics = self.metrics
+        due = min(q[0][0] for q in self._inflight.values())
+        stop = min(due, self.max_cycles)
+        metrics.sample_idle(self._livebox[0], stop - metrics.cycles)
+        if metrics.cycles >= self.max_cycles:
+            raise SimulationError(
+                f"exceeded max_cycles={self.max_cycles}"
+            )
+
     def _deliver_memory_responses(self) -> None:
-        if not self._inflight:
-            return
         now = self.metrics.cycles
         done = []
         for nid, queue in self._inflight.items():
@@ -147,175 +218,413 @@ class QueuedEngine:
             if held:
                 stuck.append((nid, self._op[nid].value, held))
         raise DeadlockError(
-            f"ordered dataflow stalled with {self._live} queued tokens; "
-            f"first stuck nodes: {stuck[:8]}",
+            f"ordered dataflow stalled with {self._livebox[0]} queued "
+            f"tokens; first stuck nodes: {stuck[:8]}",
             stuck,
         )
 
     # ------------------------------------------------------------------
-    def _run_cycle(self) -> int:
-        fired = 0
-        budget = self.issue_width
-        # Deterministic order: ascending node id.
-        for nid in sorted(self._candidates):
-            if budget == 0:
-                self._next_candidates.add(nid)
-                continue
-            if self._try_fire(nid):
-                fired += 1
-                budget -= 1
-                # It may be able to fire again next cycle.
-                self._next_candidates.add(nid)
-        return fired
-
-    # ------------------------------------------------------------------
-    def _has_space(self, nid: int, port: int) -> bool:
-        for dest_id, dest_port in self._edges[nid][port]:
-            if len(self._fifos[dest_id][dest_port]) >= self.queue_depth:
-                return False
-        return True
-
     def _emit(self, nid: int, port: int, value: object) -> None:
-        for dest_id, dest_port in self._edges[nid][port]:
-            self._fifos[dest_id][dest_port].append(value)
-            key = (dest_id, dest_port)
-            self._fresh[key] = self._fresh.get(key, 0) + 1
-            self._live += 1
-            self._next_candidates.add(dest_id)
-
-    def _pop(self, nid: int, port: int) -> object:
-        value = self._fifos[nid][port].popleft()
-        self._live -= 1
-        # Producers blocked on this queue may now have space.
-        self._next_candidates.update(self._producers[nid])
-        return value
-
-    def _head(self, nid: int, port: int):
-        imms = self._imms[nid]
-        if port in imms:
-            return True, imms[port]
-        fifo = self._fifos[nid][port]
-        # Tokens pushed this cycle are not yet visible.
-        visible = len(fifo) - self._fresh.get((nid, port), 0)
-        if visible <= 0:
-            return False, None
-        return True, fifo[0]
-
-    def _consume(self, nid: int, port: int) -> object:
-        imms = self._imms[nid]
-        if port in imms:
-            return imms[port]
-        return self._pop(nid, port)
+        """Generic emission (memory-response delivery path only; the
+        per-node closures inline their own copy)."""
+        fresh = self._fresh
+        nc_add = self._next_candidates.add
+        dests = self._dests[nid][port]
+        for fifo, key, dest_id in dests:
+            fifo.append(value)
+            fresh[key] = fresh.get(key, 0) + 1
+            nc_add(dest_id)
+        self._livebox[0] += len(dests)
 
     # ------------------------------------------------------------------
-    def _try_fire(self, nid: int) -> bool:
-        op = self._op[nid]
-        if op is Op.MU:
-            return self._try_fire_mu(nid)
-        if op is Op.MERGE:
-            ok, d = self._head(nid, 0)
-            if not ok:
-                return False
-            chosen = 1 if d else 2
-            ok, value = self._head(nid, chosen)
-            if not ok or not self._has_space(nid, 0):
-                return False
-            self._consume(nid, 0)
-            self._consume(nid, chosen)
-            self._emit(nid, 0, value)
-            return True
-        if op is Op.STEER:
-            ok, d = self._head(nid, 0)
-            if not ok:
-                return False
-            ok, value = self._head(nid, 1)
-            if not ok:
-                return False
-            taken = bool(d) == bool(self._attrs[nid]["sense"])
-            if taken and not self._has_space(nid, 0):
-                return False
-            self._consume(nid, 0)
-            self._consume(nid, 1)
-            if taken:
-                self._emit(nid, 0, value)
-            return True
+    # Per-node dispatch closures
+    # ------------------------------------------------------------------
+    def _make_try_fire(self, nid: int) -> Callable[[], bool]:
+        """Build the firing-attempt closure for node ``nid``.
 
-        # Default rule: all inputs at heads, all outputs have space.
-        inputs = []
-        for port in range(self._n_inputs[nid]):
-            ok, value = self._head(nid, port)
-            if not ok:
-                return False
-            inputs.append(value)
+        Each input port is bound as either its deque plus fresh-map
+        key (token port) or its immediate value; each output port as
+        its destination descriptors. ``fresh.get(key, 0)`` subtracts
+        tokens pushed this cycle so they only become visible next
+        cycle, matching the tagged engine's timing.
+        """
+        op = self._op[nid]
+        depth = self.queue_depth
+        fresh = self._fresh
+        fresh_get = fresh.get
+        livebox = self._livebox
+        nc = self._next_candidates
+        nc_add = nc.add
+        nc_update = nc.update
+        producers = self._producers[nid]
+        imms = self._imms[nid]
+        n_in = self._n_inputs[nid]
+        stride = self._stride
+        fifos = self._fifos[nid]
+        #: Per input port: (deque or None, fresh key, immediate).
+        spec = [
+            (fifos[p], nid * stride + p, imms.get(p))
+            for p in range(n_in)
+        ]
+        dests = self._dests[nid]
+
+        if op is Op.MU:
+            mu_state = self._mu_state
+            (f0, k0, i0), (f1, k1, i1), (f2, k2, i2) = spec
+            dests0 = dests[0]
+            n0 = len(dests0)
+
+            def try_fire_mu():
+                if mu_state[nid] == _MU_INIT:
+                    if f0 is None:
+                        value = i0
+                    else:
+                        if len(f0) - fresh_get(k0, 0) <= 0:
+                            return False
+                        value = f0[0]
+                    for f, k, d in dests0:
+                        if len(f) >= depth:
+                            return False
+                    if f0 is not None:
+                        f0.popleft()
+                        livebox[0] -= 1
+                        nc_update(producers)
+                    for f, k, d in dests0:
+                        f.append(value)
+                        fresh[k] = fresh_get(k, 0) + 1
+                        nc_add(d)
+                    livebox[0] += n0
+                    mu_state[nid] = _MU_LOOP
+                    return True
+                if f2 is None:
+                    d2 = i2
+                else:
+                    if len(f2) - fresh_get(k2, 0) <= 0:
+                        return False
+                    d2 = f2[0]
+                if f1 is None:
+                    back = i1
+                else:
+                    if len(f1) - fresh_get(k1, 0) <= 0:
+                        return False
+                    back = f1[0]
+                if d2:
+                    for f, k, d in dests0:
+                        if len(f) >= depth:
+                            return False
+                    popped = False
+                    if f2 is not None:
+                        f2.popleft()
+                        livebox[0] -= 1
+                        popped = True
+                    if f1 is not None:
+                        f1.popleft()
+                        livebox[0] -= 1
+                        popped = True
+                    if popped:
+                        nc_update(producers)
+                    for f, k, d in dests0:
+                        f.append(back)
+                        fresh[k] = fresh_get(k, 0) + 1
+                        nc_add(d)
+                    livebox[0] += n0
+                else:
+                    # Activation over: discard the final backedge value
+                    # and re-arm for the next initial value.
+                    popped = False
+                    if f2 is not None:
+                        f2.popleft()
+                        livebox[0] -= 1
+                        popped = True
+                    if f1 is not None:
+                        f1.popleft()
+                        livebox[0] -= 1
+                        popped = True
+                    if popped:
+                        nc_update(producers)
+                    mu_state[nid] = _MU_INIT
+                return True
+            return try_fire_mu
+
+        if op is Op.MERGE:
+            (f0, k0, i0) = spec[0]
+            (f1, k1, i1) = spec[1]
+            (f2, k2, i2) = spec[2]
+            dests0 = dests[0]
+            n0 = len(dests0)
+
+            def try_fire_merge():
+                if f0 is None:
+                    d0 = i0
+                else:
+                    if len(f0) - fresh_get(k0, 0) <= 0:
+                        return False
+                    d0 = f0[0]
+                fc, kc, ic = (f1, k1, i1) if d0 else (f2, k2, i2)
+                if fc is None:
+                    value = ic
+                else:
+                    if len(fc) - fresh_get(kc, 0) <= 0:
+                        return False
+                    value = fc[0]
+                for f, k, d in dests0:
+                    if len(f) >= depth:
+                        return False
+                popped = False
+                if f0 is not None:
+                    f0.popleft()
+                    livebox[0] -= 1
+                    popped = True
+                if fc is not None:
+                    fc.popleft()
+                    livebox[0] -= 1
+                    popped = True
+                if popped:
+                    nc_update(producers)
+                for f, k, d in dests0:
+                    f.append(value)
+                    fresh[k] = fresh_get(k, 0) + 1
+                    nc_add(d)
+                livebox[0] += n0
+                return True
+            return try_fire_merge
+
+        if op is Op.STEER:
+            (f0, k0, i0) = spec[0]
+            (f1, k1, i1) = spec[1]
+            dests0 = dests[0]
+            n0 = len(dests0)
+            sense = bool(self._attrs[nid]["sense"])
+
+            def try_fire_steer():
+                if f0 is None:
+                    d0 = i0
+                else:
+                    if len(f0) - fresh_get(k0, 0) <= 0:
+                        return False
+                    d0 = f0[0]
+                if f1 is None:
+                    value = i1
+                else:
+                    if len(f1) - fresh_get(k1, 0) <= 0:
+                        return False
+                    value = f1[0]
+                taken = bool(d0) == sense
+                if taken:
+                    for f, k, d in dests0:
+                        if len(f) >= depth:
+                            return False
+                popped = False
+                if f0 is not None:
+                    f0.popleft()
+                    livebox[0] -= 1
+                    popped = True
+                if f1 is not None:
+                    f1.popleft()
+                    livebox[0] -= 1
+                    popped = True
+                if popped:
+                    nc_update(producers)
+                if taken:
+                    for f, k, d in dests0:
+                        f.append(value)
+                        fresh[k] = fresh_get(k, 0) + 1
+                        nc_add(d)
+                    livebox[0] += n0
+                return True
+            return try_fire_steer
+
         if op is Op.LOAD:
-            if not (self._has_space(nid, 0) and self._has_space(nid, 1)):
-                return False
-            for port in range(self._n_inputs[nid]):
-                self._consume(nid, port)
-            value = self.memory.load(self._attrs[nid]["array"],
-                                     inputs[0])
-            delay = load_delay(self.load_latency,
-                               self._attrs[nid]["array"], inputs[0])
-            if delay <= 1 and nid not in self._inflight:
-                self._emit(nid, 0, value)
-                self._emit(nid, 1, 0)
-            else:
-                # Keep responses in issue order behind any slower
-                # predecessor from the same static load.
-                due = self.metrics.cycles + delay - 1
-                self._inflight.setdefault(nid, deque()).append(
-                    (due, value)
-                )
-            return True
+            dests0, dests1 = dests[0], dests[1]
+            n0, n1 = len(dests0), len(dests1)
+            array = self._attrs[nid]["array"]
+            mem_load = self.memory.load
+            latency = self.load_latency
+            inflight = self._inflight
+            metrics = self.metrics
+
+            def try_fire_load():
+                args = []
+                for f, k, imm in spec:
+                    if f is None:
+                        args.append(imm)
+                    else:
+                        if len(f) - fresh_get(k, 0) <= 0:
+                            return False
+                        args.append(f[0])
+                for f, k, d in dests0:
+                    if len(f) >= depth:
+                        return False
+                for f, k, d in dests1:
+                    if len(f) >= depth:
+                        return False
+                popped = False
+                for f, k, imm in spec:
+                    if f is not None:
+                        f.popleft()
+                        livebox[0] -= 1
+                        popped = True
+                if popped:
+                    nc_update(producers)
+                value = mem_load(array, args[0])
+                if latency <= 1 and nid not in inflight:
+                    for f, k, d in dests0:
+                        f.append(value)
+                        fresh[k] = fresh_get(k, 0) + 1
+                        nc_add(d)
+                    for f, k, d in dests1:
+                        f.append(0)
+                        fresh[k] = fresh_get(k, 0) + 1
+                        nc_add(d)
+                    livebox[0] += n0 + n1
+                    return True
+                delay = load_delay(latency, array, args[0])
+                if delay <= 1 and nid not in inflight:
+                    for f, k, d in dests0:
+                        f.append(value)
+                        fresh[k] = fresh_get(k, 0) + 1
+                        nc_add(d)
+                    for f, k, d in dests1:
+                        f.append(0)
+                        fresh[k] = fresh_get(k, 0) + 1
+                        nc_add(d)
+                    livebox[0] += n0 + n1
+                else:
+                    # Keep responses in issue order behind any slower
+                    # predecessor from the same static load.
+                    due = metrics.cycles + delay - 1
+                    queue = inflight.get(nid)
+                    if queue is None:
+                        inflight[nid] = queue = deque()
+                    queue.append((due, value))
+                return True
+            return try_fire_load
+
         if op is Op.STORE:
-            if not self._has_space(nid, 0):
-                return False
-            for port in range(self._n_inputs[nid]):
-                self._consume(nid, port)
-            self.memory.store(self._attrs[nid]["array"], inputs[0],
-                              inputs[1])
-            self._emit(nid, 0, 0)
-            return True
+            dests0 = dests[0]
+            n0 = len(dests0)
+            array = self._attrs[nid]["array"]
+            mem_store = self.memory.store
+
+            def try_fire_store():
+                args = []
+                for f, k, imm in spec:
+                    if f is None:
+                        args.append(imm)
+                    else:
+                        if len(f) - fresh_get(k, 0) <= 0:
+                            return False
+                        args.append(f[0])
+                for f, k, d in dests0:
+                    if len(f) >= depth:
+                        return False
+                popped = False
+                for f, k, imm in spec:
+                    if f is not None:
+                        f.popleft()
+                        livebox[0] -= 1
+                        popped = True
+                if popped:
+                    nc_update(producers)
+                mem_store(array, args[0], args[1])
+                for f, k, d in dests0:
+                    f.append(0)
+                    fresh[k] = fresh_get(k, 0) + 1
+                    nc_add(d)
+                livebox[0] += n0
+                return True
+            return try_fire_store
+
         info = OP_INFO[op]
         if not info.pure:
-            raise SimulationError(f"cannot execute {op.value} (flat)")
-        if not self._has_space(nid, 0):
-            return False
-        for port in range(self._n_inputs[nid]):
-            self._consume(nid, port)
-        value = info.evaluate(*inputs)
-        idx = self._attrs[nid].get("result_index")
-        if idx is not None:
-            self._results[idx] = value
-        self._emit(nid, 0, value)
-        return True
+            op_name = op.value
 
-    def _try_fire_mu(self, nid: int) -> bool:
-        state = self._mu_state[nid]
-        if state == _MU_INIT:
-            ok, value = self._head(nid, 0)
-            if not ok or not self._has_space(nid, 0):
-                return False
-            self._consume(nid, 0)
-            self._emit(nid, 0, value)
-            self._mu_state[nid] = _MU_LOOP
+            def try_fire_illegal():
+                raise SimulationError(
+                    f"cannot execute {op_name} (flat)"
+                )
+            return try_fire_illegal
+
+        # Pure arithmetic/logic: specialize the all-FIFO unary/binary
+        # shapes, keep a generic closure for the rest.
+        ev = info.evaluate
+        dests0 = dests[0]
+        n0 = len(dests0)
+        result_idx = self._attrs[nid].get("result_index")
+        results = self._results
+
+        if result_idx is None and n_in == 2 and not imms:
+            (f0, k0, _), (f1, k1, _) = spec
+
+            def try_fire_pure2():
+                if len(f0) - fresh_get(k0, 0) <= 0:
+                    return False
+                if len(f1) - fresh_get(k1, 0) <= 0:
+                    return False
+                for f, k, d in dests0:
+                    if len(f) >= depth:
+                        return False
+                a = f0.popleft()
+                b = f1.popleft()
+                livebox[0] -= 2
+                nc_update(producers)
+                value = ev(a, b)
+                for f, k, d in dests0:
+                    f.append(value)
+                    fresh[k] = fresh_get(k, 0) + 1
+                    nc_add(d)
+                livebox[0] += n0
+                return True
+            return try_fire_pure2
+
+        if result_idx is None and n_in == 1 and not imms:
+            (f0, k0, _) = spec[0]
+
+            def try_fire_pure1():
+                if len(f0) - fresh_get(k0, 0) <= 0:
+                    return False
+                for f, k, d in dests0:
+                    if len(f) >= depth:
+                        return False
+                a = f0.popleft()
+                livebox[0] -= 1
+                nc_update(producers)
+                value = ev(a)
+                for f, k, d in dests0:
+                    f.append(value)
+                    fresh[k] = fresh_get(k, 0) + 1
+                    nc_add(d)
+                livebox[0] += n0
+                return True
+            return try_fire_pure1
+
+        def try_fire_pure():
+            args = []
+            for f, k, imm in spec:
+                if f is None:
+                    args.append(imm)
+                else:
+                    if len(f) - fresh_get(k, 0) <= 0:
+                        return False
+                    args.append(f[0])
+            for f, k, d in dests0:
+                if len(f) >= depth:
+                    return False
+            popped = False
+            for f, k, imm in spec:
+                if f is not None:
+                    f.popleft()
+                    livebox[0] -= 1
+                    popped = True
+            if popped:
+                nc_update(producers)
+            value = ev(*args)
+            if result_idx is not None:
+                results[result_idx] = value
+            for f, k, d in dests0:
+                f.append(value)
+                fresh[k] = fresh_get(k, 0) + 1
+                nc_add(d)
+            livebox[0] += n0
             return True
-        ok, d = self._head(nid, 2)
-        if not ok:
-            return False
-        ok, back = self._head(nid, 1)
-        if not ok:
-            return False
-        if d:
-            if not self._has_space(nid, 0):
-                return False
-            self._consume(nid, 2)
-            self._consume(nid, 1)
-            self._emit(nid, 0, back)
-        else:
-            # Activation over: discard the final backedge value and
-            # re-arm for the next initial value.
-            self._consume(nid, 2)
-            self._consume(nid, 1)
-            self._mu_state[nid] = _MU_INIT
-        return True
+        return try_fire_pure

@@ -11,12 +11,22 @@ per (static instruction, tag) until the firing rule is satisfied.
 ``allocate`` follows TYR's special firing rule (paper Sec. IV-A); its
 interaction with the tag pools is what differentiates the architectures
 (see :mod:`repro.sim.tagged.tagspace`).
+
+Hot-path layout (see docs/ARCHITECTURE.md, "Simulator performance"):
+the wait-match store is *slot-indexed* -- one store per static
+instruction, keyed by tag -- instead of one dict keyed by
+``(nid, tag)`` tuples; firing goes through a per-node dispatch table
+of closures specialized at construction (no per-firing branching on
+``Op``); emission appends into a persistent pending buffer whose
+``append`` is captured once per node; and trace/occupancy
+instrumentation is selected once at construction, so the default
+configuration pays nothing for it.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.errors import DeadlockError, SimulationError, TokenBoundExceeded
 from repro.compiler.graph import TaggedGraph
@@ -36,6 +46,11 @@ _FIRE = 0
 _ALLOC_POP = 1
 _ALLOC_CTL = 2
 
+# Deposit kinds (per-node firing-rule selector for the drain loop).
+_DEP_PLAIN = 0
+_DEP_MERGE = 1
+_DEP_ALLOC = 2
+
 
 class _AllocState:
     __slots__ = ("request", "ready", "popped", "scheduled",
@@ -51,7 +66,11 @@ class _AllocState:
 
 
 class TaggedEngine:
-    """Simulates one execution of an elaborated graph."""
+    """Simulates one execution of an elaborated graph.
+
+    The engine binds ``memory`` and the graph tables into per-node
+    closures at construction; neither may be swapped afterwards.
+    """
 
     def __init__(self, graph: TaggedGraph, memory: Memory,
                  policy: TagPolicy, issue_width: int = 128,
@@ -108,19 +127,24 @@ class TaggedEngine:
                     nd.attrs["tagspace"]
                 ]
 
-        # Dynamic state.
-        self._wait: Dict[Tuple[int, object], Dict[int, object]] = {}
+        # Dynamic state. The containers below are captured by the
+        # per-node closures and MUST stay the same objects for the
+        # engine's lifetime (mutate in place, never rebind).
+        #: Slot-indexed wait-match store: node id -> tag -> {port: data}.
+        self._wait: List[Dict[object, Dict[int, object]]] = [
+            {} for _ in range(n)
+        ]
         self._alloc_state: Dict[Tuple[int, object], _AllocState] = {}
         self._ready: Deque[Tuple[int, object, int]] = deque()
-        self._pending: List[Tuple[int, int, object, object]] = []
+        self._pending: List[tuple] = []
         self._waiters: Dict[int, Deque[Tuple[int, object]]] = {
             id(p): deque() for p in self._unique_pools
         }
         self._dirty_pools: List[TagPool] = []
         #: cycle index -> pending deposits maturing that cycle (loads
         #: in flight under load_latency > 1).
-        self._delayed: Dict[int, List[Tuple]] = {}
-        self._live = 0
+        self._delayed: Dict[int, List[tuple]] = {}
+        self._livebox: List[int] = [0]
         self._results: Dict[int, object] = {}
 
         # Optional dynamic-execution-graph recording (paper Figs. 4/5):
@@ -151,6 +175,50 @@ class TaggedEngine:
                     graph.token_bound(t) + graph.max_inputs * n
                 )
 
+        # Instrumentation is selected exactly once, here: the fast
+        # path (the default) carries no trace/occupancy conditionals
+        # at all; pending tokens are 4-tuples. The instrumented path
+        # threads the producing event id through 5-tuples.
+        self._instrumented = record_trace or track_occupancy
+        if self._instrumented:
+            self._drain = self._drain_pending_instr
+            self._emit = self._emit_instr
+            self._fire_fns: List[Callable] = [
+                (lambda tag, nid=nid: self._fire_instr(nid, tag))
+                for nid in range(n)
+            ]
+        else:
+            self._drain = self._drain_pending_fast
+            self._emit = self._emit_fast
+            self._fire_fns = [
+                self._make_fire(nid) for nid in range(n)
+            ]
+        #: Firing-rule selector used by the deposit drain loop.
+        self._dkind: List[int] = [
+            _DEP_ALLOC if op is Op.ALLOCATE
+            else _DEP_MERGE if op is Op.MERGE
+            else _DEP_PLAIN
+            for op in self._op
+        ]
+        #: Per-node deposit table: (kind, wait store, #token ports,
+        #: imms) in one slot so the drain loop does one fetch per token.
+        self._dep = [
+            (self._dkind[nid], self._wait[nid],
+             self._n_token_ports[nid], self._imms[nid])
+            for nid in range(n)
+        ]
+
+    # ------------------------------------------------------------------
+    # ``_live`` stays addressable for diagnostics/tests while the hot
+    # closures mutate the underlying one-slot box directly.
+    @property
+    def _live(self) -> int:
+        return self._livebox[0]
+
+    @_live.setter
+    def _live(self, value: int) -> None:
+        self._livebox[0] = value
+
     # ------------------------------------------------------------------
     def run(self, args: List[object]) -> ExecutionResult:
         if len(args) != len(self.graph.entry_sources):
@@ -158,33 +226,43 @@ class TaggedEngine:
                 f"entry takes {len(self.graph.entry_sources)} args, "
                 f"got {len(args)}"
             )
+        pending = self._pending
         for value, dests in zip(args, self.graph.entry_sources):
             for dest_id, port in dests:
-                self._pending.append((dest_id, port, ROOT_TAG, value, -1))
-                self._live += 1
+                if self._instrumented:
+                    pending.append((dest_id, port, ROOT_TAG, value, -1))
+                else:
+                    pending.append((dest_id, port, ROOT_TAG, value))
+                self._livebox[0] += 1
         self._apply_pending()
 
         completed = False
+        metrics = self.metrics
+        sample = metrics.sample
+        ready = self._ready
+        livebox = self._livebox
+        run_cycle = self._run_cycle
+        token_bound = self._token_bound
+        max_cycles = self.max_cycles
         while True:
-            if not self._ready:
+            if not ready:
                 if self._delayed:
                     # Memory in flight: burn cycles until it returns.
-                    self._apply_pending()
-                    self.metrics.sample(0, self._live)
+                    self._stall_for_memory()
                     continue
                 if self._is_finished():
                     completed = True
                     break
                 self._raise_deadlock()
-            fired = self._run_cycle()
-            self.metrics.sample(fired, self._live)
-            if (self._token_bound is not None
-                    and self._live > self._token_bound):
+            fired = run_cycle()
+            sample(fired, livebox[0])
+            if (token_bound is not None
+                    and livebox[0] > token_bound):
                 raise TokenBoundExceeded(
-                    f"live tokens {self._live} exceed Theorem 2 bound "
-                    f"{self._token_bound}"
+                    f"live tokens {livebox[0]} exceed Theorem 2 bound "
+                    f"{token_bound}"
                 )
-            if self.metrics.cycles >= self.max_cycles:
+            if metrics.cycles >= max_cycles:
                 raise SimulationError(
                     f"exceeded max_cycles={self.max_cycles}"
                 )
@@ -208,15 +286,45 @@ class TaggedEngine:
         }
         return self.metrics.result("tagged", completed, results, extra)
 
+    def _stall_for_memory(self) -> None:
+        """Idle until the earliest in-flight load response matures.
+
+        Equivalent to sampling ``(0, live)`` once per stalled cycle,
+        but batched; unlike the original per-cycle loop it enforces
+        ``max_cycles`` and the Theorem-2 token bound, so a simulation
+        can no longer spin past its cycle budget inside a memory
+        stall.
+        """
+        metrics = self.metrics
+        due = min(self._delayed)
+        live = self._livebox[0]
+        if self.max_cycles <= due:
+            metrics.sample_idle(live, self.max_cycles - metrics.cycles)
+            raise SimulationError(
+                f"exceeded max_cycles={self.max_cycles}"
+            )
+        metrics.sample_idle(live, due + 1 - metrics.cycles)
+        if self._token_bound is not None and live > self._token_bound:
+            raise TokenBoundExceeded(
+                f"live tokens {live} exceed Theorem 2 bound "
+                f"{self._token_bound}"
+            )
+        if metrics.cycles >= self.max_cycles:
+            raise SimulationError(
+                f"exceeded max_cycles={self.max_cycles}"
+            )
+        self._pending.extend(self._delayed.pop(due))
+        self._drain()
+
     # ------------------------------------------------------------------
     def _is_finished(self) -> bool:
         return (not self._pending and not self._delayed
-                and self._live == 0 and not self._alloc_state)
+                and self._livebox[0] == 0 and not self._alloc_state)
 
     def _raise_deadlock(self) -> None:
         diagnosis = DeadlockDiagnosis(
             cycle=self.metrics.cycles,
-            live_tokens=self._live,
+            live_tokens=self._livebox[0],
             pool_occupancy={
                 p.name: (p.in_use, p.capacity)
                 for p in self._unique_pools
@@ -238,10 +346,12 @@ class TaggedEngine:
         fired = 0
         budget = self.issue_width
         ready = self._ready
+        popleft = ready.popleft
+        fire_fns = self._fire_fns
         while ready and budget > 0:
-            nid, tag, action = ready.popleft()
+            nid, tag, action = popleft()
             if action == _FIRE:
-                self._fire(nid, tag)
+                fire_fns[nid](tag)
                 fired += 1
                 budget -= 1
             elif action == _ALLOC_POP:
@@ -259,40 +369,91 @@ class TaggedEngine:
         matured = self._delayed.pop(self.metrics.cycles, None)
         if matured:
             self._pending.extend(matured)
-        pending = self._pending
-        self._pending = []
-        for nid, port, tag, data, src in pending:
-            self._deposit(nid, port, tag, data, src)
+        if self._pending:
+            self._drain()
         if self._dirty_pools:
-            dirty = self._dirty_pools
-            self._dirty_pools = []
+            dirty = self._dirty_pools[:]
+            del self._dirty_pools[:]
             for pool in dirty:
                 self._wake_waiters(pool)
 
+    def _drain_pending_fast(self) -> None:
+        """Deposit every buffered token (fast path, 4-tuples).
+
+        ``_dep`` packs each node's firing-rule selector, wait-store
+        slot, token-port count, and immediates into one tuple so a
+        deposit costs a single table fetch.
+        """
+        pending = self._pending
+        dep = self._dep
+        ready_append = self._ready.append
+        for nid, port, tag, data in pending:
+            kind, store, n_ports, imms = dep[nid]
+            if kind == _DEP_PLAIN:
+                entry = store.get(tag)
+                if entry is None:
+                    store[tag] = {port: data}
+                    if n_ports == 1:
+                        ready_append((nid, tag, _FIRE))
+                else:
+                    entry[port] = data
+                    if len(entry) == n_ports:
+                        ready_append((nid, tag, _FIRE))
+            elif kind == _DEP_MERGE:
+                entry = store.get(tag)
+                if entry is None:
+                    store[tag] = entry = {}
+                entry[port] = data
+                if 0 in entry:
+                    want = 1 if entry[0] else 2
+                    if want in entry or want in imms:
+                        ready_append((nid, tag, _FIRE))
+            else:  # _DEP_ALLOC
+                self._deposit_alloc(nid, port, tag)
+        del pending[:]
+
+    def _drain_pending_instr(self) -> None:
+        """Deposit every buffered token (instrumented, 5-tuples)."""
+        pending = self._pending[:]
+        del self._pending[:]
+        for nid, port, tag, data, src in pending:
+            self._deposit_instr(nid, port, tag, data, src)
+
     # ------------------------------------------------------------------
-    def _emit(self, nid: int, port: int, tag: object, data: object) -> None:
+    def _emit_fast(self, nid: int, port: int, tag: object,
+                   data: object) -> None:
         edges = self._edges[nid][port]
         if not edges:
             return  # token discarded (no consumers)
         append = self._pending.append
+        for dest_id, dest_port in edges:
+            append((dest_id, dest_port, tag, data))
+        self._livebox[0] += len(edges)
+
+    def _emit_instr(self, nid: int, port: int, tag: object,
+                    data: object) -> None:
+        edges = self._edges[nid][port]
+        if not edges:
+            return
+        append = self._pending.append
         src = self._cur_event
         for dest_id, dest_port in edges:
             append((dest_id, dest_port, tag, data, src))
-        self._live += len(edges)
+        self._livebox[0] += len(edges)
 
-    def _deposit(self, nid: int, port: int, tag: object,
-                 data: object, src: int = -1) -> None:
+    def _deposit_instr(self, nid: int, port: int, tag: object,
+                       data: object, src: int = -1) -> None:
         op = self._op[nid]
         if self.trace is not None and src >= 0:
             self._wait_src.setdefault((nid, tag), {})[port] = src
         if op is Op.ALLOCATE:
             self._deposit_alloc(nid, port, tag)
             return
-        key = (nid, tag)
-        entry = self._wait.get(key)
+        store = self._wait[nid]
+        entry = store.get(tag)
         if entry is None:
             entry = {}
-            self._wait[key] = entry
+            store[tag] = entry
         entry[port] = data
         if self._track_occupancy:
             block = self._block[nid]
@@ -358,17 +519,17 @@ class TaggedEngine:
         new_tag = pool.pop()
         st.popped = True
         st.waiting = False
-        self._live -= 1  # the request token is consumed
+        self._livebox[0] -= 1  # the request token is consumed
         self._emit(nid, 0, tag, new_tag)
         if st.ready:
-            self._live -= 1  # the ready token is consumed
+            self._livebox[0] -= 1  # the ready token is consumed
             self._emit(nid, 1, tag, 0)
             del self._alloc_state[key]
         return True
 
     def _fire_alloc_ctl(self, nid: int, tag: object) -> None:
         key = (nid, tag)
-        self._live -= 1  # consume the late ready token
+        self._livebox[0] -= 1  # consume the late ready token
         self._emit(nid, 1, tag, 0)
         del self._alloc_state[key]
 
@@ -392,9 +553,273 @@ class TaggedEngine:
         self._waiters[id(pool)] = still_waiting
 
     # ------------------------------------------------------------------
-    # Ordinary instruction firing
+    # Ordinary instruction firing: per-node dispatch closures
     # ------------------------------------------------------------------
-    def _fire(self, nid: int, tag: object) -> None:
+    def _make_fire(self, nid: int) -> Callable[[object], None]:
+        """Build the firing closure for node ``nid`` (fast path).
+
+        All per-node constants -- wait store slot, output edge lists,
+        immediates, attributes, the pending buffer's ``append`` -- are
+        bound here, once, so a firing does no table lookups and no
+        opcode dispatch.
+        """
+        op = self._op[nid]
+        store = self._wait[nid]
+        livebox = self._livebox
+        append = self._pending.append
+        edges = self._edges[nid]
+        imms = self._imms[nid]
+        attrs = self._attrs[nid]
+        n_in = self._n_inputs[nid]
+
+        if op is Op.MERGE:
+            edges0 = edges[0]
+            n0 = len(edges0)
+
+            def fire_merge(tag):
+                entry = store.pop(tag)
+                livebox[0] -= len(entry)
+                chosen = 1 if entry[0] else 2
+                data = entry[chosen] if chosen in entry else imms[chosen]
+                for d in edges0:
+                    append((d[0], d[1], tag, data))
+                livebox[0] += n0
+            return fire_merge
+
+        if op is Op.STEER:
+            edges0, edges1 = edges[0], edges[1]
+            n0, n1 = len(edges0), len(edges1)
+            sense = bool(attrs["sense"])
+            imm0, imm1 = imms.get(0), imms.get(1)
+
+            def fire_steer(tag):
+                entry = store.pop(tag)
+                livebox[0] -= len(entry)
+                d = entry[0] if 0 in entry else imm0
+                value = entry[1] if 1 in entry else imm1
+                if bool(d) == sense:
+                    for e in edges0:
+                        append((e[0], e[1], tag, value))
+                    livebox[0] += n0
+                for e in edges1:
+                    append((e[0], e[1], tag, 0))
+                livebox[0] += n1
+            return fire_steer
+
+        if op is Op.LOAD:
+            edges0, edges1 = edges[0], edges[1]
+            n0, n1 = len(edges0), len(edges1)
+            array = attrs["array"]
+            mem_load = self.memory.load
+            if self.load_latency <= 1:
+                def fire_load(tag):
+                    entry = store.pop(tag)
+                    livebox[0] -= len(entry)
+                    addr = entry[0] if 0 in entry else imms[0]
+                    value = mem_load(array, addr)
+                    for e in edges0:
+                        append((e[0], e[1], tag, value))
+                    for e in edges1:
+                        append((e[0], e[1], tag, 0))
+                    livebox[0] += n0 + n1
+                return fire_load
+
+            latency = self.load_latency
+            metrics = self.metrics
+            delayed = self._delayed
+
+            def fire_load_variable(tag):
+                entry = store.pop(tag)
+                livebox[0] -= len(entry)
+                addr = entry[0] if 0 in entry else imms[0]
+                value = mem_load(array, addr)
+                delay = load_delay(latency, array, addr)
+                if delay <= 1:
+                    for e in edges0:
+                        append((e[0], e[1], tag, value))
+                    for e in edges1:
+                        append((e[0], e[1], tag, 0))
+                else:
+                    due = metrics.cycles + delay - 1
+                    bucket = delayed.get(due)
+                    if bucket is None:
+                        delayed[due] = bucket = []
+                    for e in edges0:
+                        bucket.append((e[0], e[1], tag, value))
+                    for e in edges1:
+                        bucket.append((e[0], e[1], tag, 0))
+                livebox[0] += n0 + n1
+            return fire_load_variable
+
+        if op is Op.STORE:
+            edges0 = edges[0]
+            n0 = len(edges0)
+            array = attrs["array"]
+            mem_store = self.memory.store
+
+            def fire_store(tag):
+                entry = store.pop(tag)
+                livebox[0] -= len(entry)
+                addr = entry[0] if 0 in entry else imms[0]
+                value = entry[1] if 1 in entry else imms[1]
+                mem_store(array, addr, value)
+                for e in edges0:
+                    append((e[0], e[1], tag, 0))
+                livebox[0] += n0
+            return fire_store
+
+        if op is Op.JOIN:
+            edges0 = edges[0]
+            n0 = len(edges0)
+
+            def fire_join(tag):
+                entry = store.pop(tag)
+                livebox[0] -= len(entry)
+                value = entry[0] if 0 in entry else imms[0]
+                for e in edges0:
+                    append((e[0], e[1], tag, value))
+                livebox[0] += n0
+            return fire_join
+
+        if op is Op.CHANGE_TAG:
+            edges1 = edges[1]
+            n1 = len(edges1)
+            table = attrs.get("route_table")
+            if table is None:
+                edges0 = edges[0]
+                n0 = len(edges0)
+
+                def fire_change_tag(tag):
+                    entry = store.pop(tag)
+                    livebox[0] -= len(entry)
+                    new_tag = entry[0] if 0 in entry else imms[0]
+                    data = entry[1] if 1 in entry else imms[1]
+                    for e in edges0:
+                        append((e[0], e[1], new_tag, data))
+                    livebox[0] += n0
+                    for e in edges1:
+                        append((e[0], e[1], tag, 0))
+                    livebox[0] += n1
+                return fire_change_tag
+
+            # Dynamic-destination changeTag (multi-caller returns).
+            table_get = table.get
+
+            def fire_change_tag_routed(tag):
+                entry = store.pop(tag)
+                livebox[0] -= len(entry)
+                new_tag = entry[0] if 0 in entry else imms[0]
+                data = entry[1] if 1 in entry else imms[1]
+                ret = entry[2] if 2 in entry else imms[2]
+                dests = table_get(ret, ())
+                for e in dests:
+                    append((e[0], e[1], new_tag, data))
+                livebox[0] += len(dests)
+                for e in edges1:
+                    append((e[0], e[1], tag, 0))
+                livebox[0] += n1
+            return fire_change_tag_routed
+
+        if op is Op.EXTRACT_TAG:
+            edges0 = edges[0]
+            n0 = len(edges0)
+
+            def fire_extract_tag(tag):
+                entry = store.pop(tag)
+                livebox[0] -= len(entry)
+                for e in edges0:
+                    append((e[0], e[1], tag, tag))
+                livebox[0] += n0
+            return fire_extract_tag
+
+        if op is Op.FREE:
+            pool = self._free_pool[nid]
+            dirty = self._dirty_pools
+
+            def fire_free(tag):
+                entry = store.pop(tag)
+                livebox[0] -= len(entry)
+                pool.push(tag)
+                if pool not in dirty:
+                    dirty.append(pool)
+            return fire_free
+
+        info = OP_INFO[op]
+        if not info.pure:
+            op_name = op.value
+
+            def fire_illegal(tag):
+                raise SimulationError(f"cannot execute {op_name}")
+            return fire_illegal
+
+        # Pure arithmetic/logic: specialize the common shapes, keep a
+        # generic closure for the rest (immediates, results, 3-ary).
+        ev = info.evaluate
+        edges0 = edges[0]
+        n0 = len(edges0)
+        result_idx = attrs.get("result_index")
+        results = self._results
+
+        if result_idx is None and not imms and n_in == 2:
+            def fire_pure2(tag):
+                entry = store.pop(tag)
+                livebox[0] -= 2
+                value = ev(entry[0], entry[1])
+                for d in edges0:
+                    append((d[0], d[1], tag, value))
+                livebox[0] += n0
+            return fire_pure2
+
+        if result_idx is None and not imms and n_in == 1:
+            def fire_pure1(tag):
+                entry = store.pop(tag)
+                livebox[0] -= 1
+                value = ev(entry[0])
+                for d in edges0:
+                    append((d[0], d[1], tag, value))
+                livebox[0] += n0
+            return fire_pure1
+
+        if result_idx is None and n_in == 2 and len(imms) == 1:
+            if 0 in imms:
+                imm0 = imms[0]
+
+                def fire_pure_imm0(tag):
+                    entry = store.pop(tag)
+                    livebox[0] -= 1
+                    value = ev(imm0, entry[1])
+                    for d in edges0:
+                        append((d[0], d[1], tag, value))
+                    livebox[0] += n0
+                return fire_pure_imm0
+            imm1 = imms[1]
+
+            def fire_pure_imm1(tag):
+                entry = store.pop(tag)
+                livebox[0] -= 1
+                value = ev(entry[0], imm1)
+                for d in edges0:
+                    append((d[0], d[1], tag, value))
+                livebox[0] += n0
+            return fire_pure_imm1
+
+        def fire_pure(tag):
+            entry = store.pop(tag)
+            livebox[0] -= len(entry)
+            value = ev(*[
+                entry[p] if p in entry else imms[p] for p in range(n_in)
+            ])
+            if result_idx is not None:
+                results[result_idx] = value
+            for d in edges0:
+                append((d[0], d[1], tag, value))
+            livebox[0] += n0
+        return fire_pure
+
+    # ------------------------------------------------------------------
+    # Instrumented firing (trace / occupancy builds only)
+    # ------------------------------------------------------------------
+    def _fire_instr(self, nid: int, tag: object) -> None:
         op = self._op[nid]
         if self.trace is not None:
             self._cur_event = self.trace.record(
@@ -402,8 +827,8 @@ class TaggedEngine:
                 self._op[nid].value, tag,
                 self._wait_src.pop((nid, tag), {}),
             )
-        entry = self._wait.pop((nid, tag))
-        self._live -= len(entry)
+        entry = self._wait[nid].pop(tag)
+        self._livebox[0] -= len(entry)
         if self._track_occupancy:
             self._occupancy[self._block[nid]] -= len(entry)
         imms = self._imms[nid]
@@ -444,7 +869,7 @@ class TaggedEngine:
                     for dest_id, dest_port in self._edges[nid][port]:
                         bucket.append((dest_id, dest_port, tag, data,
                                        src))
-                        self._live += 1
+                        self._livebox[0] += 1
         elif op is Op.STORE:
             attrs = self._attrs[nid]
             self.memory.store(attrs["array"], inputs[0], inputs[1])
@@ -464,7 +889,7 @@ class TaggedEngine:
                     for dest_id, dest_port in dests:
                         append((dest_id, dest_port, inputs[0],
                                 inputs[1], src))
-                    self._live += len(dests)
+                    self._livebox[0] += len(dests)
             self._emit(nid, 1, tag, 0)
         elif op is Op.EXTRACT_TAG:
             self._emit(nid, 0, tag, tag)

@@ -129,6 +129,30 @@ class TagPolicy:
         return self.name
 
 
+def _resolve_pool_size(policy_name: str, block: str,
+                       user_overrides: Dict[str, Optional[int]],
+                       graph_overrides: Dict[str, Optional[int]],
+                       default: int) -> int:
+    """Pick a block's tag-pool size: user > program > policy default.
+
+    Every per-block policy routes through here so the precedence and
+    validation cannot drift apart.  The checks are explicit ``None``
+    comparisons -- a falsy override (0) is an error to report, not a
+    request for the default.
+    """
+    size = user_overrides.get(block)
+    if size is None:
+        size = graph_overrides.get(block)
+    if size is None:
+        size = default
+    if size < 2:
+        raise SimulationError(
+            f"{policy_name} needs >= 2 tags per block; "
+            f"{block!r} has {size}"
+        )
+    return size
+
+
 class UnboundedGlobalPolicy(TagPolicy):
     """Naive unordered dataflow: one unbounded global tag space."""
 
@@ -183,15 +207,10 @@ class TyrPolicy(TagPolicy):
     def build_pools(self, blocks, overrides):
         pools = {}
         for b in blocks:
-            size = self.user_overrides.get(b)
-            if size is None:
-                size = overrides.get(b)
-            if size is None:
-                size = self.tags_per_block
-            if size < 2:
-                raise SimulationError(
-                    f"TYR needs >= 2 tags per block; {b!r} has {size}"
-                )
+            size = _resolve_pool_size(
+                self.name, b, self.user_overrides, overrides,
+                self.tags_per_block,
+            )
             pools[b] = TagPool(b, size, gated=True)
         return pools
 
@@ -209,8 +228,9 @@ class AblatedTyrPolicy(TyrPolicy):
     are necessary, not incidental.
     """
 
-    def __init__(self, tags_per_block: int = 2, drop: str = "spare"):
-        super().__init__(tags_per_block)
+    def __init__(self, tags_per_block: int = 2, drop: str = "spare",
+                 overrides: Optional[Dict[str, int]] = None):
+        super().__init__(tags_per_block, overrides)
         if drop not in ("ready", "spare"):
             raise SimulationError("drop must be 'ready' or 'spare'")
         self.drop = drop
@@ -219,7 +239,10 @@ class AblatedTyrPolicy(TyrPolicy):
     def build_pools(self, blocks, overrides):
         pools = {}
         for b in blocks:
-            size = overrides.get(b) or self.tags_per_block
+            size = _resolve_pool_size(
+                self.name, b, self.user_overrides, overrides,
+                self.tags_per_block,
+            )
             pools[b] = TagPool(
                 b, size, gated=True,
                 honor_ready=self.drop != "ready",
@@ -240,13 +263,22 @@ class KBoundedPolicy(TagPolicy):
 
     name = "kbounded"
 
-    def __init__(self, tags_per_block: int = 64):
+    def __init__(self, tags_per_block: int = 64,
+                 overrides: Optional[Dict[str, int]] = None):
+        if tags_per_block < 2:
+            raise SimulationError(
+                "k-bounding needs at least two tags per block"
+            )
         self.tags_per_block = tags_per_block
+        self.user_overrides = dict(overrides or {})
 
     def build_pools(self, blocks, overrides):
         pools = {}
         for b in blocks:
-            size = overrides.get(b) or self.tags_per_block
+            size = _resolve_pool_size(
+                self.name, b, self.user_overrides, overrides,
+                self.tags_per_block,
+            )
             pools[b] = TagPool(b, size, gated=False)
         return pools
 

@@ -1,0 +1,103 @@
+"""Regenerate ``golden_engine_metrics.json`` (engine-equivalence oracle).
+
+The golden file pins the exact metrics (cycles, instructions, peak and
+mean live state, declared results, tag-pool statistics) that the
+tagged and queued engines produced at the seed commit, for every
+workload in :mod:`repro.workloads.registry` under every tagged policy.
+The equivalence suite (``test_engine_equivalence.py``) replays the
+same runs and asserts bit-identical numbers, so hot-path rewrites of
+the engines cannot silently change simulated behavior.
+
+Only regenerate this file from an engine state known to be
+semantically correct (originally: seed commit b70ce7e), never to make
+a failing equivalence test pass::
+
+    PYTHONPATH=src python tests/sim/capture_golden_engine_metrics.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.workloads.registry import (
+    EXTRA_WORKLOADS,
+    WORKLOAD_NAMES,
+    build_workload,
+)
+
+#: Every registered workload, at the scale used for the golden runs.
+GOLDEN_RUNS = (
+    [(name, "tiny") for name in WORKLOAD_NAMES + EXTRA_WORKLOADS]
+    + [("dmv", "small"), ("smv", "small")]
+)
+
+#: Tagged policies under test plus the queued (ordered) engine.
+GOLDEN_MACHINES = ("tyr", "unordered", "kbounded", "ordered")
+
+#: Non-default engine configurations that must also stay identical.
+GOLDEN_VARIANTS = (
+    {"sample_traces": False},
+    {"track_occupancy": True},
+    {"load_latency": 6},
+)
+
+OUT = os.path.join(os.path.dirname(__file__),
+                   "golden_engine_metrics.json")
+
+
+def run_key(name, scale, machine, variant):
+    parts = [name, scale, machine]
+    parts += [f"{k}={v}" for k, v in sorted(variant.items())]
+    return "/".join(parts)
+
+
+def describe(result):
+    rec = {
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "peak_live": result.peak_live,
+        "mean_live": result.mean_live,
+        "results": list(result.extra["declared_results"]),
+    }
+    if "pool_stats" in result.extra:
+        rec["pool_stats"] = sorted(
+            [s.name, s.capacity, s.peak_in_use, s.total_allocations]
+            for s in result.extra["pool_stats"]
+        )
+        rec["leftover_tags_in_use"] = (
+            result.extra["leftover_tags_in_use"]
+        )
+    if result.extra.get("peak_store_occupancy"):
+        rec["peak_store_occupancy"] = dict(
+            sorted(result.extra["peak_store_occupancy"].items())
+        )
+    return rec
+
+
+def capture():
+    golden = {}
+    for name, scale in GOLDEN_RUNS:
+        wl = build_workload(name, scale)
+        for machine in GOLDEN_MACHINES:
+            res = wl.run_checked(machine)
+            golden[run_key(name, scale, machine, {})] = describe(res)
+    # Variant configurations on one representative workload each.
+    wl = build_workload("dmv", "tiny")
+    for machine in GOLDEN_MACHINES:
+        for variant in GOLDEN_VARIANTS:
+            if machine == "ordered" and "track_occupancy" in variant:
+                continue  # queued engine has no wait-match store
+            res, mem = wl.run(machine, **variant)
+            golden[run_key("dmv", "tiny", machine, variant)] = (
+                describe(res)
+            )
+    return golden
+
+
+if __name__ == "__main__":
+    golden = capture()
+    with open(OUT, "w") as fh:
+        json.dump(golden, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {len(golden)} golden records to {OUT}")

@@ -1,0 +1,106 @@
+"""Engine-equivalence oracle: hot-path rewrites must not change
+simulated behavior.
+
+``golden_engine_metrics.json`` pins cycles, instructions, peak/mean
+live state, declared results and tag-pool statistics for every
+registered workload on every tagged policy plus the queued (ordered)
+engine, captured at the seed commit.  These tests replay the same runs
+and assert bit-identical numbers.
+
+Also here: regression tests for the stall-loop bugs (both engines'
+memory-stall branches used to skip the ``max_cycles`` check, so a
+stalled program could overrun its cycle budget unbounded).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.frontend.ast import ArraySpec, Function, Module, Return
+from repro.frontend.dsl import load, v
+from repro.frontend.lower import lower_module
+from repro.harness.runner import run_program
+from repro.sim.latency import load_delay
+from repro.sim.memory import Memory
+
+from tests.sim.capture_golden_engine_metrics import OUT, capture
+
+with open(OUT) as _fh:
+    GOLDEN = json.load(_fh)
+
+
+@pytest.fixture(scope="module")
+def fresh_metrics():
+    """One replay of every golden run with the current engines."""
+    return capture()
+
+
+def test_golden_file_covers_every_registered_workload():
+    from repro.workloads.registry import EXTRA_WORKLOADS, WORKLOAD_NAMES
+
+    covered = {key.split("/")[0] for key in GOLDEN}
+    assert covered == set(WORKLOAD_NAMES + EXTRA_WORKLOADS)
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN))
+def test_metrics_identical_to_golden(key, fresh_metrics):
+    assert key in fresh_metrics, f"golden run {key} no longer replayed"
+    assert fresh_metrics[key] == GOLDEN[key]
+
+
+def test_no_unpinned_runs(fresh_metrics):
+    assert set(fresh_metrics) == set(GOLDEN)
+
+
+# ---------------------------------------------------------------------------
+# Stall-loop regressions: a program blocked on an in-flight load must
+# still honor ``max_cycles`` (both engines' stall branches used to
+# fast-forward straight past it).
+
+
+def _one_load_module():
+    return Module([
+        Function("main", ["i"], [
+            Return([load("A", v("i"))]),
+        ]),
+    ], arrays=[ArraySpec("A", read_only=True)])
+
+
+def _slow_index(latency, array="A", min_delay=50):
+    """An index whose modeled load latency is >= ``min_delay``."""
+    for i in range(512):
+        if load_delay(latency, array, i) >= min_delay:
+            return i, load_delay(latency, array, i)
+    pytest.fail("no slow index found; latency model changed?")
+
+
+@pytest.mark.parametrize("machine", ["tyr", "ordered"])
+def test_stalled_load_respects_max_cycles(machine):
+    latency = 64
+    idx, delay = _slow_index(latency)
+    program = lower_module(_one_load_module())
+    values = list(range(600))
+
+    # Baseline: idealized timing finishes in a handful of cycles.
+    fast = run_program(program, machine, Memory({"A": list(values)}),
+                       [idx], load_latency=1)
+    assert fast.extra["declared_results"] == (values[idx],)
+
+    # With the slow load, completion needs roughly ``delay`` more
+    # cycles, all spent stalled.  A budget cut into that stall window
+    # must raise -- the seed engines would silently run to completion.
+    budget = fast.cycles + 5
+    assert budget < fast.cycles + delay - 1
+    with pytest.raises(SimulationError, match="max_cycles"):
+        run_program(program, machine, Memory({"A": list(values)}),
+                    [idx], load_latency=latency, max_cycles=budget)
+
+    # Sanity: the same run with enough budget completes, and really
+    # did need more cycles than the cut-off budget above.
+    slow = run_program(program, machine, Memory({"A": list(values)}),
+                       [idx], load_latency=latency,
+                       max_cycles=fast.cycles + delay + 10)
+    assert slow.extra["declared_results"] == (values[idx],)
+    assert slow.cycles > budget

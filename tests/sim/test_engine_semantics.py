@@ -178,5 +178,5 @@ def test_tokens_with_different_tags_do_not_match():
     with pytest.raises(DeadlockError):
         eng.run([1, 2])
     # Both tokens sit unmatched under different tags.
-    tags = {key[1] for key in eng._wait}
+    tags = {tag for store in eng._wait for tag in store}
     assert tags == {123, ROOT_TAG}

@@ -4,12 +4,21 @@ import pytest
 
 from repro.errors import SimulationError
 from repro.sim.tagged.tagspace import (
+    AblatedTyrPolicy,
     BoundedGlobalPolicy,
     KBoundedPolicy,
     TagPool,
     TyrPolicy,
     UnboundedGlobalPolicy,
 )
+
+#: The three per-block policies, which must resolve pool sizes
+#: identically (user override > program override > default).
+PER_BLOCK_POLICIES = [
+    lambda **kw: TyrPolicy(64, **kw),
+    lambda **kw: AblatedTyrPolicy(64, drop="spare", **kw),
+    lambda **kw: KBoundedPolicy(64, **kw),
+]
 
 
 def test_gated_pool_base_rule():
@@ -118,8 +127,28 @@ def test_tyr_rejects_single_tag():
         TyrPolicy(4).build_pools(["b"], {"b": 1})
 
 
-def test_user_override_beats_program_override():
-    pools = TyrPolicy(64, overrides={"b": 16}).build_pools(
-        ["b"], {"b": 8}
-    )
+@pytest.mark.parametrize("make", PER_BLOCK_POLICIES)
+def test_user_override_beats_program_override(make):
+    pools = make(overrides={"b": 16}).build_pools(["b"], {"b": 8})
     assert pools["b"].capacity == 16
+
+
+@pytest.mark.parametrize("make", PER_BLOCK_POLICIES)
+def test_falsy_override_is_an_error_not_the_default(make):
+    # Regression: ``overrides.get(b) or default`` silently replaced an
+    # explicit 0 with the policy default instead of rejecting it.
+    with pytest.raises(SimulationError, match="2 tags"):
+        make().build_pools(["b"], {"b": 0})
+    with pytest.raises(SimulationError, match="2 tags"):
+        make(overrides={"b": 0}).build_pools(["b"], {})
+
+
+@pytest.mark.parametrize("make", PER_BLOCK_POLICIES)
+def test_single_tag_override_rejected(make):
+    with pytest.raises(SimulationError, match="2 tags"):
+        make().build_pools(["b"], {"b": 1})
+
+
+def test_kbounded_rejects_single_tag_default():
+    with pytest.raises(SimulationError):
+        KBoundedPolicy(1)
