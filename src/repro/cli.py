@@ -16,6 +16,7 @@ import time
 from typing import List, Optional
 
 from repro.errors import DeadlockError, ReproError
+from repro.harness.cache import ResultCache
 from repro.harness.experiments import EXPERIMENTS, get_experiment
 from repro.harness.runner import MACHINES
 from repro.workloads import WORKLOAD_NAMES, build_workload, paper_parameters
@@ -62,11 +63,15 @@ def _cmd_experiment(args) -> int:
         names = sorted(EXPERIMENTS)
     else:
         names = [args.name]
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
     for name in names:
         start = time.time()
-        report = get_experiment(name)(scale=args.scale)
+        report = get_experiment(name)(scale=args.scale,
+                                      jobs=args.jobs, cache=cache)
         print(report)
         print(f"[{name} regenerated in {time.time() - start:.1f}s]\n")
+    if cache is not None:
+        print(cache.stats())
     return 0
 
 
@@ -143,6 +148,15 @@ def build_parser() -> argparse.ArgumentParser:
     exp_p.add_argument("name",
                        choices=sorted(EXPERIMENTS) + ["all"])
     exp_p.add_argument("--scale", default="default")
+    exp_p.add_argument("--jobs", "-j", type=int, default=1,
+                       help="fan simulation runs over N worker "
+                            "processes")
+    exp_p.add_argument("--no-cache", action="store_true",
+                       help="disable the content-addressed result "
+                            "cache (on by default)")
+    exp_p.add_argument("--cache-dir", default=None,
+                       help="cache directory (default $REPRO_CACHE_DIR "
+                            "or .repro-cache)")
 
     ins_p = sub.add_parser(
         "inspect", help="show a workload's concurrent blocks"

@@ -1,0 +1,108 @@
+"""Content-addressed on-disk cache for simulation results.
+
+A cache entry is one :class:`~repro.sim.metrics.ExecutionResult`,
+keyed by everything that determines it:
+
+* the *content* of the compiled program (a SHA-256 of its printed IR,
+  :func:`repro.ir.printer.format_program`) -- not the workload name,
+  so an unrelated edit that leaves the lowered program unchanged still
+  hits;
+* the initial memory image and padded entry arguments;
+* the machine name and the canonicalized run configuration (tags,
+  issue width, load latency, ... -- see
+  :func:`repro.harness.pool.canonical_config`), including whether the
+  run was oracle-checked;
+* a ``CACHE_VERSION`` that must be bumped whenever engines change
+  simulated behavior (golden-metrics changes) or the result format.
+
+Entries are pickled to ``<root>/<key[:2]>/<key>.pkl`` and written
+atomically (temp file + :func:`os.replace`), so concurrent pool
+workers and parallel test runs can share one cache directory without
+locking: the worst case is two processes computing the same entry and
+one overwrite winning.
+
+The default root is ``$REPRO_CACHE_DIR`` or ``.repro-cache`` in the
+working directory. A corrupt or unreadable entry is treated as a miss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.sim.metrics import ExecutionResult
+
+#: Bump when a change legitimately alters simulated metrics (i.e. the
+#: golden-metrics file is regenerated) or the pickled entry format.
+CACHE_VERSION = 1
+
+DEFAULT_ROOT = ".repro-cache"
+
+
+def result_key(fingerprint: str,
+               initial_memory: Dict[str, Sequence],
+               entry_args: Sequence[object],
+               machine: str,
+               config: Tuple[Tuple[str, object], ...],
+               check: bool) -> str:
+    """SHA-256 cache key over everything that determines a result."""
+    text = repr((
+        CACHE_VERSION,
+        fingerprint,
+        sorted((name, tuple(values))
+               for name, values in initial_memory.items()),
+        tuple(entry_args),
+        machine,
+        config,
+        check,
+    ))
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+class ResultCache:
+    """Content-addressed store of pickled :class:`ExecutionResult`."""
+
+    def __init__(self, root: Optional[str] = None):
+        self.root = (root or os.environ.get("REPRO_CACHE_DIR")
+                     or DEFAULT_ROOT)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + ".pkl")
+
+    def get(self, key: str) -> Optional[ExecutionResult]:
+        """The cached result for ``key``, or None (counted as a miss)."""
+        try:
+            with open(self._path(key), "rb") as fh:
+                result = pickle.load(fh)
+        except (OSError, pickle.PickleError, EOFError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: ExecutionResult) -> None:
+        """Store ``result`` atomically (temp file + rename)."""
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(result, fh,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def stats(self) -> str:
+        return (f"cache: {self.hits} hit(s), {self.misses} miss(es) "
+                f"at {self.root}")

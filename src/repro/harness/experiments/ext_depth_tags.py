@@ -17,6 +17,7 @@ from typing import Dict, List
 
 from repro.harness.ascii_plots import table
 from repro.harness.experiments.base import ExperimentReport, register
+from repro.harness.pool import run_batch
 from repro.ir.program import BlockKind, ContextProgram
 from repro.workloads import build_workload
 
@@ -53,7 +54,7 @@ def depth_overrides(program: ContextProgram,
 
 @register("ext-depth")
 def run(scale: str = "default", workload: str = "dconv",
-        **kwargs) -> ExperimentReport:
+        jobs: int = 1, cache=None, **kwargs) -> ExperimentReport:
     wl = build_workload(workload, scale)
     program = wl.compiled.program
     depths = loop_depths(program)
@@ -67,12 +68,16 @@ def run(scale: str = "default", workload: str = "dconv",
         "inner-heavy": ascending,
         "outer-heavy": list(reversed(ascending)),
     }
+    results = run_batch(
+        [(wl, "tyr", {"tags": 16,
+                      "tag_overrides": depth_overrides(program, budgets),
+                      "sample_traces": False})
+         for budgets in configs.values()],
+        jobs=jobs, cache=cache,
+    )
     rows = []
     data = {}
-    for label, budgets in configs.items():
-        overrides = depth_overrides(program, budgets)
-        res = wl.run_checked("tyr", tags=16, tag_overrides=overrides,
-                             sample_traces=False)
+    for (label, budgets), res in zip(configs.items(), results):
         rows.append([label, "/".join(map(str, budgets)), res.cycles,
                      res.peak_live])
         data[label] = {"budgets": budgets, "cycles": res.cycles,

@@ -13,20 +13,25 @@ from __future__ import annotations
 
 from repro.harness.ascii_plots import table
 from repro.harness.experiments.base import ExperimentReport, register
+from repro.harness.pool import run_batch
 from repro.harness.runner import PAPER_SYSTEMS
 from repro.workloads import build_workload
 
 
 @register("ext-latency")
 def run(scale: str = "default", workload: str = "tc",
-        latencies=(1, 4, 16, 32), **kwargs) -> ExperimentReport:
+        latencies=(1, 4, 16, 32), jobs: int = 1, cache=None,
+        **kwargs) -> ExperimentReport:
     wl = build_workload(workload, scale)
-    cycles = {m: {} for m in PAPER_SYSTEMS}
-    for machine in PAPER_SYSTEMS:
-        for latency in latencies:
-            res = wl.run_checked(machine, load_latency=latency,
-                                 sample_traces=False)
-            cycles[machine][latency] = res.cycles
+    flat = iter(run_batch(
+        [(wl, machine, {"load_latency": latency,
+                        "sample_traces": False})
+         for machine in PAPER_SYSTEMS for latency in latencies],
+        jobs=jobs, cache=cache,
+    ))
+    cycles = {machine: {latency: next(flat).cycles
+                        for latency in latencies}
+              for machine in PAPER_SYSTEMS}
     rows = []
     slowdown = {}
     for machine in PAPER_SYSTEMS:

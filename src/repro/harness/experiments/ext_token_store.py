@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from repro.harness.ascii_plots import table
 from repro.harness.experiments.base import ExperimentReport, register
+from repro.harness.pool import run_batch
 from repro.workloads import build_workload
 
 
@@ -28,12 +29,18 @@ def _static_store_bound(graph, block: str, tags: int) -> int:
 
 @register("ext-store")
 def run(scale: str = "default", workload: str = "dconv",
-        tags: int = 64, **kwargs) -> ExperimentReport:
+        tags: int = 64, jobs: int = 1, cache=None,
+        **kwargs) -> ExperimentReport:
     wl = build_workload(workload, scale)
-    unordered = wl.run_checked("unordered", track_occupancy=True,
-                               sample_traces=False)
-    tyr = wl.run_checked("tyr", tags=tags, track_occupancy=True,
-                         sample_traces=False)
+    unordered, tyr = run_batch(
+        [
+            (wl, "unordered", {"track_occupancy": True,
+                               "sample_traces": False}),
+            (wl, "tyr", {"tags": tags, "track_occupancy": True,
+                         "sample_traces": False}),
+        ],
+        jobs=jobs, cache=cache,
+    )
 
     u_occ = unordered.extra["peak_store_occupancy"]
     t_occ = tyr.extra["peak_store_occupancy"]

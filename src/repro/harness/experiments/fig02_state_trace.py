@@ -12,17 +12,21 @@ from repro.harness.ascii_plots import line_chart, table
 from repro.harness.experiments.base import ExperimentReport, register
 from repro.harness.results import downsample
 from repro.harness.runner import PAPER_SYSTEMS
+from repro.harness.sweep import run_machines
 from repro.workloads import build_workload
 
 
 @register("fig02")
 def run(scale: str = "default", workload: str = "spmspm",
-        tags: int = 64, **kwargs) -> ExperimentReport:
+        tags: int = 64, jobs: int = 1, cache=None,
+        **kwargs) -> ExperimentReport:
     wl = build_workload(workload, scale)
+    results = run_machines(wl, PAPER_SYSTEMS, tags=tags,
+                           jobs=jobs, cache=cache)
     traces = {}
     summary_rows = []
     for machine in PAPER_SYSTEMS:
-        res = wl.run_checked(machine, tags=tags)
+        res = results[machine]
         traces[machine] = res.live_trace
         summary_rows.append([machine, res.cycles, res.peak_live,
                              round(res.mean_live, 1)])

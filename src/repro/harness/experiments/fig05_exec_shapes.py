@@ -13,6 +13,7 @@ from repro.harness.ascii_plots import line_chart, table
 from repro.harness.experiments.base import ExperimentReport, register
 from repro.harness.results import downsample
 from repro.harness.runner import PAPER_SYSTEMS
+from repro.harness.sweep import run_machines
 from repro.workloads import build_workload
 
 
@@ -22,12 +23,13 @@ MACHINES = tuple(PAPER_SYSTEMS) + ("datapar",)
 
 @register("fig05")
 def run(scale: str = "small", workload: str = "dmv",
-        **kwargs) -> ExperimentReport:
+        jobs: int = 1, cache=None, **kwargs) -> ExperimentReport:
     wl = build_workload(workload, scale)
+    results = run_machines(wl, MACHINES, jobs=jobs, cache=cache)
     profiles = {}
     rows = []
     for machine in MACHINES:
-        res = wl.run_checked(machine)
+        res = results[machine]
         profiles[machine] = res.ipc_trace
         rows.append([
             machine,

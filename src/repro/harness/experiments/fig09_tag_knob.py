@@ -9,17 +9,23 @@ from __future__ import annotations
 
 from repro.harness.ascii_plots import line_chart, table
 from repro.harness.experiments.base import ExperimentReport, register
+from repro.harness.pool import run_batch
 from repro.harness.results import downsample
-from repro.harness.sweep import sweep_tags
 from repro.workloads import build_workload
 
 
 @register("fig09")
 def run(scale: str = "default", workload: str = "dmv",
-        tag_counts=(2, 8, 64), **kwargs) -> ExperimentReport:
+        tag_counts=(2, 8, 64), jobs: int = 1, cache=None,
+        **kwargs) -> ExperimentReport:
     wl = build_workload(workload, scale)
-    swept = sweep_tags(wl, tag_counts)
-    unordered = wl.run_checked("unordered")
+    results = run_batch(
+        [(wl, "tyr", {"tags": tags}) for tags in tag_counts]
+        + [(wl, "unordered", {})],
+        jobs=jobs, cache=cache,
+    )
+    swept = dict(zip(tag_counts, results))
+    unordered = results[-1]
     traces = {f"tyr t={t}": res.live_trace for t, res in swept.items()}
     traces["unordered (unlimited)"] = unordered.live_trace
     rows = [[f"tyr t={t}", r.cycles, r.peak_live]

@@ -12,14 +12,17 @@ from __future__ import annotations
 from repro.errors import DeadlockError
 from repro.harness.ascii_plots import table
 from repro.harness.experiments.base import ExperimentReport, register
-from repro.harness.sweep import min_global_tags_to_complete
+from repro.harness.sweep import min_global_tags_to_complete, run_machines
 from repro.workloads import build_workload
 
 
 @register("fig11")
 def run(scale: str = "small", workload: str = "dmv", total_tags: int = 8,
-        sizes=(8, 16, 32, 48), **kwargs) -> ExperimentReport:
+        sizes=(8, 16, 32, 48), jobs: int = 1, cache=None,
+        **kwargs) -> ExperimentReport:
     wl = build_workload(workload, scale)
+    # Run directly (not via the pool) so the deadlock diagnosis object
+    # survives -- it does not cross process boundaries.
     try:
         res, _ = wl.run("unordered-bounded", total_tags=total_tags)
         deadlocked = not res.completed
@@ -31,14 +34,16 @@ def run(scale: str = "small", workload: str = "dmv", total_tags: int = 8,
         pending = len(err.diagnosis.pending_allocations)
 
     # TYR with the same per-block budget completes.
-    tyr = wl.run_checked("tyr", tags=total_tags)
+    tyr = run_machines(wl, ("tyr",), tags=total_tags,
+                       cache=cache)["tyr"]
 
     # How many global tags dmv needs as input size grows.
     growth_rows = []
     for n in sizes:
         small = build_workload(workload, "tiny", n=n)
         outcome = min_global_tags_to_complete(
-            small, [4, 8, 16, 24, 32, 48, 64, 96, 128, 256, 512]
+            small, [4, 8, 16, 24, 32, 48, 64, 96, 128, 256, 512],
+            jobs=jobs, cache=cache,
         )
         needed = next((t for t, ok in sorted(outcome.items()) if ok),
                       None)

@@ -11,6 +11,7 @@ from typing import Dict
 
 from repro.harness.ascii_plots import grouped_bar_chart, table
 from repro.harness.experiments.base import ExperimentReport, register
+from repro.harness.pool import run_batch
 from repro.harness.results import speedup_vs
 from repro.harness.runner import PAPER_SYSTEMS
 from repro.sim.metrics import ExecutionResult
@@ -18,24 +19,26 @@ from repro.workloads import WORKLOAD_NAMES, build_workload
 
 
 def collect(scale: str, tags: int = 64, sample_traces: bool = True,
-            apps=WORKLOAD_NAMES) -> Dict[str, Dict[str, ExecutionResult]]:
+            apps=WORKLOAD_NAMES, jobs: int = 1,
+            cache=None) -> Dict[str, Dict[str, ExecutionResult]]:
     """Run every app on every paper system (oracle-checked)."""
-    results: Dict[str, Dict[str, ExecutionResult]] = {}
-    for app in apps:
-        wl = build_workload(app, scale)
-        results[app] = {}
-        for machine in PAPER_SYSTEMS:
-            results[app][machine] = wl.run_checked(
-                machine, tags=tags, sample_traces=sample_traces
-            )
-    return results
+    workloads = {app: build_workload(app, scale) for app in apps}
+    config = {"tags": tags, "sample_traces": sample_traces}
+    flat = iter(run_batch(
+        [(workloads[app], machine, config)
+         for app in apps for machine in PAPER_SYSTEMS],
+        jobs=jobs, cache=cache,
+    ))
+    return {app: {machine: next(flat) for machine in PAPER_SYSTEMS}
+            for app in apps}
 
 
 @register("fig12")
 def run(scale: str = "default", tags: int = 64,
         results: Dict[str, Dict[str, ExecutionResult]] = None,
-        **kwargs) -> ExperimentReport:
-    results = results or collect(scale, tags, sample_traces=False)
+        jobs: int = 1, cache=None, **kwargs) -> ExperimentReport:
+    results = results or collect(scale, tags, sample_traces=False,
+                                 jobs=jobs, cache=cache)
     cycles = {app: {m: r.cycles for m, r in per.items()}
               for app, per in results.items()}
     speedups = speedup_vs(results, reference="tyr")

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from repro.harness.ascii_plots import cdf_chart, table
 from repro.harness.experiments.base import ExperimentReport, register
+from repro.harness.pool import run_batch
 from repro.harness.results import ipc_cdf
 from repro.harness.runner import PAPER_SYSTEMS
 from repro.workloads import WORKLOAD_NAMES, build_workload
@@ -16,13 +17,17 @@ from repro.workloads import WORKLOAD_NAMES, build_workload
 
 @register("fig13")
 def run(scale: str = "default", tags: int = 64, apps=WORKLOAD_NAMES,
-        **kwargs) -> ExperimentReport:
+        jobs: int = 1, cache=None, **kwargs) -> ExperimentReport:
     combined = {m: [] for m in PAPER_SYSTEMS}
+    workloads = {app: build_workload(app, scale) for app in apps}
+    flat = iter(run_batch(
+        [(workloads[app], machine, {"tags": tags})
+         for app in apps for machine in PAPER_SYSTEMS],
+        jobs=jobs, cache=cache,
+    ))
     for app in apps:
-        wl = build_workload(app, scale)
         for machine in PAPER_SYSTEMS:
-            res = wl.run_checked(machine, tags=tags)
-            combined[machine].extend(res.ipc_trace)
+            combined[machine].extend(next(flat).ipc_trace)
     cdfs = {m: ipc_cdf(trace) for m, trace in combined.items()}
     medians = {}
     p90 = {}

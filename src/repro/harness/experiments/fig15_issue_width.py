@@ -19,10 +19,11 @@ MACHINES = ("seqdf", "ordered", "unordered", "tyr")
 @register("fig15")
 def run(scale: str = "default", workload: str = "dmv",
         widths=(16, 32, 64, 128, 256, 512), tags: int = 64,
-        **kwargs) -> ExperimentReport:
+        jobs: int = 1, cache=None, **kwargs) -> ExperimentReport:
     wl = build_workload(workload, scale)
     swept = sweep_issue_width(wl, widths, MACHINES, tags=tags,
-                              sample_traces=False)
+                              sample_traces=False, jobs=jobs,
+                              cache=cache)
     cycle_rows = []
     state_rows = []
     for width in widths:

@@ -1,0 +1,220 @@
+"""Parallel job runner for sweeps and experiments.
+
+A *job* is one simulated run, described declaratively by a
+:class:`RunSpec` (workload identity + machine + canonicalized
+configuration) so it can be pickled to a ``multiprocessing`` worker,
+replayed to rebuild the exact same :class:`WorkloadInstance`, and
+hashed into a content-addressed cache key.
+
+:func:`run_specs` is the single execution path for every sweep helper
+and experiment driver:
+
+* results come back **in spec order** regardless of ``jobs``, so
+  serial (``jobs=1``) and parallel runs produce byte-identical
+  downstream ``ExperimentReport.data``;
+* with a :class:`~repro.harness.cache.ResultCache`, the parent first
+  resolves hits and only dispatches misses (successful runs are
+  written back; failures are never cached);
+* workers are forked, so compiled artifacts already materialized in
+  the parent (programs, tagged/flat graphs) are inherited for free,
+  and a per-process memo (:data:`_WL_MEMO`) compiles each remaining
+  program at most once per worker;
+* :class:`~repro.errors.DeadlockError` / ``SimulationError`` raised by
+  a run are re-raised with the failing workload, machine, and config
+  appended to the message -- essential once failures surface from pool
+  workers far from the loop that queued them.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.errors import DeadlockError, ReproError, SimulationError
+from repro.harness.cache import ResultCache, result_key
+from repro.sim.metrics import ExecutionResult
+from repro.workloads.registry import WorkloadInstance, build_workload
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulated run, in pickle- and hash-friendly form."""
+
+    workload: str
+    scale: str
+    seed: int
+    #: Full builder parameters (scale defaults + overrides), sorted.
+    params: Tuple[Tuple[str, object], ...]
+    machine: str
+    #: Canonicalized :meth:`CompiledWorkload.run` keyword arguments.
+    config: Tuple[Tuple[str, object], ...]
+    #: Verify memory/results against the numpy oracle after the run.
+    check: bool = True
+
+    def describe(self) -> str:
+        cfg = ", ".join(f"{k}={v}" for k, v in self.config)
+        return (f"workload={self.workload}/{self.scale} "
+                f"machine={self.machine} config=[{cfg}]")
+
+
+def canonical_config(kwargs: Dict[str, object]
+                     ) -> Tuple[Tuple[str, object], ...]:
+    """Sorted, hashable form of run kwargs (dicts become item tuples)."""
+    items: List[Tuple[str, object]] = []
+    for key in sorted(kwargs):
+        value = kwargs[key]
+        if isinstance(value, dict):
+            value = tuple(sorted(value.items()))
+        items.append((key, value))
+    return tuple(items)
+
+
+def _config_kwargs(spec: RunSpec) -> Dict[str, object]:
+    """Invert :func:`canonical_config` back into run kwargs."""
+    kwargs: Dict[str, object] = {}
+    for key, value in spec.config:
+        if key == "tag_overrides" and value is not None:
+            value = dict(value)
+        kwargs[key] = value
+    return kwargs
+
+
+#: Per-process workload memo: forked workers inherit the parent's
+#: entries (compile-once), and fill in their own for anything else.
+_WL_MEMO: Dict[Tuple, WorkloadInstance] = {}
+
+
+def _memo_key(spec: RunSpec) -> Tuple:
+    return (spec.workload, spec.scale, spec.seed, spec.params)
+
+
+def workload_for(spec: RunSpec) -> WorkloadInstance:
+    """The (memoized) workload instance a spec describes."""
+    key = _memo_key(spec)
+    wl = _WL_MEMO.get(key)
+    if wl is None:
+        wl = build_workload(spec.workload, spec.scale, seed=spec.seed,
+                            **dict(spec.params))
+        _WL_MEMO[key] = wl
+    return wl
+
+
+def spec_for(workload: WorkloadInstance, machine: str,
+             config: Optional[Dict[str, object]] = None,
+             check: bool = True) -> RunSpec:
+    """Describe one run of ``workload`` and memoize the instance, so
+    the parent (and forked workers) never rebuild it."""
+    spec = RunSpec(
+        workload=workload.name,
+        scale=workload.scale,
+        seed=workload.seed,
+        params=tuple(sorted(workload.params.items())),
+        machine=machine,
+        config=canonical_config(config or {}),
+        check=check,
+    )
+    _WL_MEMO.setdefault(_memo_key(spec), workload)
+    return spec
+
+
+def cache_key(spec: RunSpec) -> str:
+    """Content-addressed key for a spec (compiles the program once)."""
+    wl = workload_for(spec)
+    return result_key(
+        fingerprint=wl.compiled.fingerprint,
+        initial_memory=wl.initial_memory,
+        entry_args=wl.compiled.entry_args(wl.args),
+        machine=spec.machine,
+        config=spec.config,
+        check=spec.check,
+    )
+
+
+def run_one(spec: RunSpec) -> ExecutionResult:
+    """Execute one spec; simulation failures carry the spec context."""
+    wl = workload_for(spec)
+    kwargs = _config_kwargs(spec)
+    try:
+        if spec.check:
+            return wl.run_checked(spec.machine, **kwargs)
+        res, _ = wl.run(spec.machine, **kwargs)
+        return res
+    except DeadlockError as err:
+        raise DeadlockError(f"{err} [{spec.describe()}]",
+                            getattr(err, "diagnosis", None)) from err
+    except SimulationError as err:
+        raise type(err)(f"{err} [{spec.describe()}]") from err
+
+
+def _run_guarded(spec: RunSpec) -> Tuple[bool, object]:
+    """Worker entry point: never let a library error kill the pool."""
+    try:
+        return True, run_one(spec)
+    except ReproError as err:
+        return False, err
+
+
+def run_specs(specs: Sequence[RunSpec], jobs: int = 1,
+              cache: Optional[ResultCache] = None,
+              tolerate: Tuple[Type[BaseException], ...] = (),
+              ) -> List[object]:
+    """Execute specs, in order, optionally cached and in parallel.
+
+    Returns one entry per spec: an :class:`ExecutionResult`, or the
+    raised exception if its type is in ``tolerate`` (anything else
+    propagates). Cache hits skip the engines entirely; failures are
+    tolerated per-spec but never cached. Note a tolerated exception
+    that crossed a process boundary loses attributes outside
+    ``args`` (e.g. ``DeadlockError.diagnosis``).
+    """
+    specs = list(specs)
+    results: List[object] = [None] * len(specs)
+    keys: Dict[int, str] = {}
+    pending: List[int] = []
+    for i, spec in enumerate(specs):
+        if cache is not None:
+            keys[i] = cache_key(spec)
+            hit = cache.get(keys[i])
+            if hit is not None:
+                results[i] = hit
+                continue
+        pending.append(i)
+
+    outcomes: Dict[int, Tuple[bool, object]] = {}
+    if jobs > 1 and len(pending) > 1:
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(min(jobs, len(pending))) as workers:
+            done = workers.map(_run_guarded,
+                               [specs[i] for i in pending],
+                               chunksize=1)
+        outcomes = dict(zip(pending, done))
+    else:
+        for i in pending:
+            outcomes[i] = _run_guarded(specs[i])
+
+    for i, (ok, payload) in outcomes.items():
+        if ok:
+            results[i] = payload
+            if cache is not None:
+                cache.put(keys[i], payload)
+        elif isinstance(payload, tolerate):
+            results[i] = payload
+        else:
+            raise payload
+    return results
+
+
+def run_batch(runs: Sequence[Tuple], jobs: int = 1,
+              cache: Optional[ResultCache] = None,
+              tolerate: Tuple[Type[BaseException], ...] = (),
+              ) -> List[object]:
+    """:func:`run_specs` over ``(workload, machine[, config[, check]])``
+    tuples -- the driver-facing form."""
+    specs = []
+    for run in runs:
+        workload, machine = run[0], run[1]
+        config = run[2] if len(run) > 2 else None
+        check = run[3] if len(run) > 3 else True
+        specs.append(spec_for(workload, machine, config, check))
+    return run_specs(specs, jobs=jobs, cache=cache, tolerate=tolerate)

@@ -73,6 +73,7 @@ class CompiledWorkload:
         self.program = program
         self._tagged = None
         self._flat = None
+        self._fingerprint: Optional[str] = None
 
     @property
     def tagged(self):
@@ -85,6 +86,23 @@ class CompiledWorkload:
         if self._flat is None:
             self._flat = flatten(self.program)
         return self._flat
+
+    @property
+    def fingerprint(self) -> str:
+        """SHA-256 of the printed IR -- the program's cache identity.
+
+        Machine lowerings (tagged/flat graphs and engine plans) are
+        deterministic functions of the context program, so hashing the
+        printed IR covers them all.
+        """
+        if self._fingerprint is None:
+            import hashlib
+
+            from repro.ir.printer import format_program
+            self._fingerprint = hashlib.sha256(
+                format_program(self.program).encode()
+            ).hexdigest()
+        return self._fingerprint
 
     def entry_args(self, args: Sequence[object]) -> List[object]:
         """Pad user arguments with zeros for hidden order-token params."""

@@ -15,20 +15,42 @@ being fundamentally limited to the block-order window -- the behavior
 the paper describes for sequential dataflow (Fig. 5c).
 
 ``window=1, width=1`` degenerates to a sequential von Neumann machine.
+
+Hot-path layout (see docs/ARCHITECTURE.md, "Simulator performance"):
+the same per-node dispatch-closure design as the tagged/queued
+engines.  Each static op gets a firing closure specialized at engine
+construction -- per-op constants (immediates, consumer lists, output
+keys, memory accessors, the pending buffer's ``append``) are bound
+once, so a firing does no opcode dispatch and no plan lookups.  The
+wait-match store is per-instance (``inst.wait[op_id]``) instead of a
+global dict keyed by ``(iid, op_id)`` tuples, and the deposit drain
+reads one precomputed descriptor tuple per token
+(:attr:`repro.sim.window.plan.BlockPlan.dep`).  Closures are built
+once per *static block* and shared by every dynamic instance, so loop
+iterations pay nothing for specialization.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Set, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.errors import DeadlockError, SimulationError
 from repro.ir.ops import OP_INFO, Op
-from repro.ir.program import BlockKind, ContextProgram, Lit
+from repro.ir.program import BlockKind, ContextProgram
 from repro.sim.latency import load_delay
 from repro.sim.memory import Memory
 from repro.sim.metrics import ExecutionResult, MetricsRecorder
-from repro.sim.window.plan import BlockPlan, Key, build_plans, ref_key
+from repro.sim.window.plan import (
+    BlockPlan,
+    Key,
+    OpPlan,
+    build_plans,
+)
+
+#: Shared empty wait entry for ops fired via the only-literal fetch
+#: path (never written to; firing closures only read it).
+_NO_ENTRY: Dict[int, object] = {}
 
 
 class _Instance:
@@ -36,10 +58,13 @@ class _Instance:
 
     __slots__ = ("iid", "plan", "env", "fetched", "armed", "subs",
                  "term_fired", "term_decision", "parent", "parent_spawn",
-                 "live_slices", "done", "delivered")
+                 "live_slices", "done", "delivered", "wait", "fires",
+                 "dep", "fired")
 
     def __init__(self, iid: int, plan: BlockPlan,
-                 parent: Optional["_Instance"], parent_spawn: Optional[int]):
+                 parent: Optional["_Instance"],
+                 parent_spawn: Optional[int],
+                 fires: List[Callable]):
         self.iid = iid
         self.plan = plan
         self.env: Dict[Key, object] = {}
@@ -55,10 +80,27 @@ class _Instance:
         self.live_slices = 0
         self.done = False
         self.delivered = False
+        #: Wait-match store: op id -> {port: value} (slot-indexed per
+        #: instance; replaces the engine-global ``(iid, op_id)`` dict).
+        self.wait: Dict[int, Dict[int, object]] = {}
+        #: The per-plan firing-closure table (shared across instances).
+        self.fires = fires
+        #: The per-plan deposit-descriptor table (hot alias).
+        self.dep = plan.dep
+        #: Op ids that have fired (published an output or, for the
+        #: loop term, resolved).  The retire scan's "not pending"
+        #: check is one int-set lookup instead of tuple-key env
+        #: probes; spawn ids land here too when child results arrive
+        #: (harmless -- spawns never appear in slices).
+        self.fired: Set[int] = set()
 
 
 class WindowEngine:
-    """Simulates vN (window=1,width=1) or sequential dataflow."""
+    """Simulates vN (window=1,width=1) or sequential dataflow.
+
+    The engine binds ``memory`` and the program's plans into per-node
+    closures at construction; neither may be swapped afterwards.
+    """
 
     def __init__(self, program: ContextProgram, memory: Memory,
                  window: int = 8, issue_width: int = 128,
@@ -83,13 +125,17 @@ class WindowEngine:
         self.plans = build_plans(program)
 
         self._next_iid = 0
-        self._wait: Dict[Tuple[int, int], Dict[int, object]] = {}
         self._instances: Dict[int, _Instance] = {}
         self._ready: Deque[Tuple[_Instance, int]] = deque()
+        # The containers below are captured by the firing closures and
+        # MUST stay the same objects for the engine's lifetime (mutate
+        # in place, never rebind).
         self._pending: List[Tuple[_Instance, int, int, object]] = []
-        self._retire: Deque[Tuple[_Instance, int]] = deque()
+        self._livebox: List[int] = [0]
+        #: In-flight slices in fetch order: [instance, slice index,
+        #: retire-scan position] (see :meth:`_retire_slices`).
+        self._retire: Deque[List] = deque()
         self._stack: List[List] = []  # [instance, item index]
-        self._live = 0
         self._program_results: Dict[int, object] = {}
         self._n_program_results = 0
         #: cycle index -> [(instance, key, value)] loads in flight.
@@ -99,6 +145,24 @@ class WindowEngine:
         # unresolved decider vs. a full window.
         self._stall_decider = 0
         self._stall_window = 0
+
+        #: block name -> list of firing closures, one per op (shared
+        #: by every dynamic instance of the block).
+        self._fire_tables: Dict[str, List[Callable]] = {
+            name: [self._make_fire(plan, p) for p in plan.ops]
+            for name, plan in self.plans.items()
+        }
+
+    # ------------------------------------------------------------------
+    # ``_live`` stays addressable for diagnostics/tests while the hot
+    # closures mutate the underlying one-slot box directly.
+    @property
+    def _live(self) -> int:
+        return self._livebox[0]
+
+    @_live.setter
+    def _live(self, value: int) -> None:
+        self._livebox[0] = value
 
     # ------------------------------------------------------------------
     def run(self, args: List[object]) -> ExecutionResult:
@@ -115,28 +179,162 @@ class WindowEngine:
         self._register_results(root)
         self._stack.append([root, 0])
 
+        # The cycle loop is fully inlined (issue, retire, fetch,
+        # deposit, metrics sampling): window machines fire ~1
+        # instruction per cycle (vN literally so), which makes
+        # per-cycle call and attribute overhead -- not the firing
+        # closures -- the host bottleneck.
         completed = False
-        while True:
-            fired = self._run_cycle()
-            progressed = self._retire_slices()
-            for _ in range(self.fetch_width):
-                if not self._fetch():
-                    break
-                progressed = True
-            self._apply_pending()
-            if fired == 0 and not progressed and not self._ready:
-                if self._delayed:
-                    self.metrics.sample(0, self._live)
-                    continue
-                if self._is_finished():
-                    completed = True
-                    break
-                self._raise_deadlock()
-            self.metrics.sample(fired, self._live)
-            if self.metrics.cycles >= self.max_cycles:
-                raise SimulationError(
-                    f"exceeded max_cycles={self.max_cycles}"
-                )
+        metrics = self.metrics
+        livebox = self._livebox
+        ready = self._ready
+        popleft = ready.popleft
+        ready_append = ready.append
+        pending = self._pending
+        retire = self._retire
+        retire_popleft = retire.popleft
+        delayed = self._delayed
+        fetch = self._fetch
+        publish = self._publish
+        status = self._op_status
+        maybe_release = self._maybe_release
+        issue_width = self.issue_width
+        fetch_width = self.fetch_width
+        max_cycles = self.max_cycles
+        # Metrics are accumulated in locals and committed in the
+        # ``finally`` below.  Only variable-latency load closures read
+        # ``metrics.cycles`` mid-run (to schedule maturity), so the
+        # counter is synced back each cycle exactly in that mode.
+        sync_cycles = self.load_latency > 1
+        traces = metrics.sample_traces
+        ipc_append = metrics.ipc_trace.append
+        live_append = metrics.live_trace.append
+        cycles = metrics.cycles
+        instructions = metrics.instructions
+        peak_live = metrics._peak_live
+        live_sum = metrics._live_sum
+        try:
+            while True:
+                # Issue: fire ready ops up to the shared width.
+                fired = 0
+                if ready:
+                    budget = issue_width
+                    while ready and budget > 0:
+                        inst, op_id = popleft()
+                        inst.fires[op_id](inst)
+                        fired += 1
+                        budget -= 1
+                # Retire completed head-of-window slices, in fetch
+                # order.  An op's "not pending" status is monotone
+                # (outputs are write-once and a false guard stays
+                # false), so each in-flight entry ``[inst, slice ops,
+                # scan pos]`` re-checks only from its scan position.
+                progressed = False
+                while retire:
+                    entry = retire[0]
+                    inst = entry[0]
+                    ops = entry[1]
+                    pos = entry[2]
+                    n = len(ops)
+                    fired_set = inst.fired
+                    while pos < n:
+                        oid = ops[pos]
+                        if oid in fired_set:
+                            pos += 1
+                            continue
+                        if (not inst.plan.guarded[oid]
+                                or status(inst, oid) == "pending"):
+                            break
+                        pos += 1  # guard resolved untaken
+                    if pos < n:
+                        entry[2] = pos
+                        break
+                    retire_popleft()
+                    inst.live_slices -= 1
+                    progressed = True
+                    maybe_release(inst)
+                # Fetch along the von Neumann block order.
+                fc = fetch_width
+                while fc:
+                    if not fetch():
+                        break
+                    progressed = True
+                    fc -= 1
+                # Deposit: matured loads, then this cycle's tokens.
+                # The one-cycle buffer is what keeps values fired at
+                # cycle N invisible until N+1.  Each token carries its
+                # consumer descriptor ``c = (op_id, port, kind,
+                # n_ports, slice_index, merge_lit)``
+                # (:attr:`repro.sim.window.plan.BlockPlan.consumers`).
+                if delayed:
+                    matured = delayed.pop(cycles, None)
+                    if matured:
+                        for inst, key, value in matured:
+                            publish(inst, key, value)
+                if pending:
+                    # Deposits never publish, so nothing appends to
+                    # ``pending`` while it drains; iterate in place
+                    # and clear.
+                    for inst, c, value in pending:
+                        op_id = c[0]
+                        wait = inst.wait
+                        entry = wait.get(op_id)
+                        if entry is None:
+                            wait[op_id] = entry = {c[1]: value}
+                            n_have = 1
+                        else:
+                            entry[c[1]] = value
+                            n_have = len(entry)
+                        if c[2]:  # DEP_MERGE
+                            if 0 not in entry:
+                                continue
+                            want = 1 if entry[0] else 2
+                            if want not in entry and not c[5][want - 1]:
+                                continue
+                        elif n_have != c[3]:
+                            continue
+                        if c[4] in inst.fetched:
+                            ready_append((inst, op_id))
+                        else:
+                            inst.armed.add(op_id)
+                    del pending[:]
+                if fired == 0 and not progressed and not ready:
+                    if delayed:
+                        # Idle cycle waiting on in-flight loads.
+                        cycles += 1
+                        metrics.cycles = cycles
+                        live = livebox[0]
+                        if live > peak_live:
+                            peak_live = live
+                        live_sum += live
+                        if traces:
+                            ipc_append(0)
+                            live_append(live)
+                        continue
+                    if self._is_finished():
+                        completed = True
+                        break
+                    self._raise_deadlock()
+                cycles += 1
+                if sync_cycles:
+                    metrics.cycles = cycles
+                instructions += fired
+                live = livebox[0]
+                if live > peak_live:
+                    peak_live = live
+                live_sum += live
+                if traces:
+                    ipc_append(fired)
+                    live_append(live)
+                if cycles >= max_cycles:
+                    raise SimulationError(
+                        f"exceeded max_cycles={self.max_cycles}"
+                    )
+        finally:
+            metrics.cycles = cycles
+            metrics.instructions = instructions
+            metrics._peak_live = peak_live
+            metrics._live_sum = live_sum
 
         results = tuple(
             self._program_results.get(i)
@@ -152,13 +350,13 @@ class WindowEngine:
     def _is_finished(self) -> bool:
         return (not self._stack and not self._retire
                 and not self._pending and not self._delayed
-                and self._live == 0)
+                and self._livebox[0] == 0)
 
     def _raise_deadlock(self) -> None:
         stuck = [(entry[0].plan.name, entry[1])
                  for entry in self._stack[-4:]]
         raise DeadlockError(
-            f"window machine stalled: live={self._live}, "
+            f"window machine stalled: live={self._livebox[0]}, "
             f"in-flight slices={len(self._retire)}, stack tail={stuck}"
         )
 
@@ -167,37 +365,41 @@ class WindowEngine:
     # ------------------------------------------------------------------
     def _make_instance(self, plan: BlockPlan, parent: Optional[_Instance],
                        parent_spawn: Optional[int]) -> _Instance:
-        inst = _Instance(self._next_iid, plan, parent, parent_spawn)
+        inst = _Instance(self._next_iid, plan, parent, parent_spawn,
+                         self._fire_tables[plan.name])
         self._next_iid += 1
         self._instances[inst.iid] = inst
         return inst
 
     def _publish(self, inst: _Instance, key: Key, value: object) -> None:
-        """Record a value and forward it to consumers and subscribers."""
+        """Record a value and forward it to consumers and subscribers.
+
+        Cold-path twin of the inlined publishes inside the firing
+        closures (used for entry args, matured loads, and bindings);
+        any semantic change here must be mirrored in
+        :meth:`_make_fire`.
+        """
         inst.env[key] = value
-        for dest_op, dest_port in inst.plan.consumers.get(key, ()):
-            self._pending.append((inst, dest_op, dest_port, value))
-            self._live += 1
-        for target, target_key in inst.subs.pop(key, ()):
-            self._forward(target, target_key, value)
+        k0 = key[0]
+        if k0 != "p":
+            inst.fired.add(k0)
+        cons = inst.plan.consumers.get(key)
+        if cons:
+            append = self._pending.append
+            for dest in cons:
+                append((inst, dest, value))
+            self._livebox[0] += len(cons)
+        if inst.subs:
+            subs = inst.subs.pop(key, None)
+            if subs:
+                for target, target_key in subs:
+                    self._forward(target, target_key, value)
 
     def _forward(self, target, target_key: Key, value: object) -> None:
         if isinstance(target, _Instance):
             self._publish(target, target_key, value)
         else:  # ("program", index)
             self._program_results[target_key] = value
-
-    def _bind(self, src_inst: _Instance, ref, target, target_key) -> None:
-        """Deliver the value of ``ref`` (evaluated in ``src_inst``) to
-        ``target``/``target_key``, now or when it becomes available."""
-        if isinstance(ref, Lit):
-            self._forward(target, target_key, ref.value)
-            return
-        key = ref_key(ref)
-        if key in src_inst.env:
-            self._forward(target, target_key, src_inst.env[key])
-        else:
-            src_inst.subs.setdefault(key, []).append((target, target_key))
 
     def _register_results(self, inst: _Instance) -> None:
         """Arrange delivery of ``inst``'s results to its parent (or the
@@ -207,172 +409,344 @@ class WindowEngine:
             return
         inst.delivered = True
         parent = inst.parent
-        for j, ref in enumerate(inst.plan.result_refs):
-            if parent is None:
-                self._bind(inst, ref, "program", j)
-            else:
-                self._bind_result_to_parent(inst, ref, parent, j)
-
-    def _bind_result_to_parent(self, inst: _Instance, ref,
-                               parent: _Instance, j: int) -> None:
-        key = (inst.parent_spawn, j)
-        if isinstance(ref, Lit):
-            self._publish(parent, key, ref.value)
+        env = inst.env
+        if parent is None:
+            results = self._program_results
+            for kind, payload, j in inst.plan.result_specs:
+                if kind:  # BIND_KEY
+                    if payload in env:
+                        results[j] = env[payload]
+                    else:
+                        inst.subs.setdefault(payload, []).append(
+                            ("program", j))
+                else:
+                    results[j] = payload
             return
-        src_key = ref_key(ref)
-        if src_key in inst.env:
-            self._publish(parent, key, inst.env[src_key])
-        else:
-            inst.subs.setdefault(src_key, []).append((parent, key))
+        spawn = inst.parent_spawn
+        publish = self._publish
+        for kind, payload, j in inst.plan.result_specs:
+            if kind:  # BIND_KEY
+                if payload in env:
+                    publish(parent, (spawn, j), env[payload])
+                else:
+                    inst.subs.setdefault(payload, []).append(
+                        (parent, (spawn, j)))
+            else:
+                publish(parent, (spawn, j), payload)
 
     # ------------------------------------------------------------------
-    # Firing
+    # Per-op dispatch closures
     # ------------------------------------------------------------------
-    def _run_cycle(self) -> int:
-        fired = 0
-        budget = self.issue_width
-        ready = self._ready
-        while ready and budget > 0:
-            inst, op_id = ready.popleft()
-            self._fire(inst, op_id)
-            fired += 1
-            budget -= 1
-        return fired
+    def _make_fire(self, bplan: BlockPlan,
+                   p: OpPlan) -> Callable[[_Instance], None]:
+        """Build the firing closure for one static op (shared by every
+        dynamic instance of the block).
 
-    def _apply_pending(self) -> None:
-        matured = self._delayed.pop(self.metrics.cycles, None)
-        if matured:
-            for inst, key, value in matured:
-                self._publish(inst, key, value)
-        pending = self._pending
-        self._pending = []
-        for inst, op_id, port, value in pending:
-            self._deposit(inst, op_id, port, value)
+        All per-op constants -- immediates, consumer lists, output
+        keys, memory accessors, the pending buffer's ``append`` -- are
+        bound here, once, so a firing does no opcode dispatch and no
+        plan lookups.  Publish semantics (env write, consumer fan-out,
+        subscription drain -- in that order) mirror :meth:`_publish`
+        exactly.
+        """
+        op_id = p.op_id
+        op = p.op
+        imms = p.imms
+        livebox = self._livebox
+        append = self._pending.append
+        forward = self._forward
+        key0 = (op_id, 0)
+        key1 = (op_id, 1)
+        cons0 = tuple(bplan.consumers.get(key0, ()))
+        cons1 = tuple(bplan.consumers.get(key1, ()))
+        n0 = len(cons0)
+        n1 = len(cons1)
+        # At fire time a non-MERGE op holds exactly one token per
+        # token port (ports are write-once), so the live-token delta
+        # of a firing is a closure constant.
+        n_t = len(p.token_ports)
+        d0 = n0 - n_t
+        d1 = n1 - n_t
 
-    def _deposit(self, inst: _Instance, op_id: int, port: int,
-                 value: object) -> None:
-        plan = inst.plan.op(op_id)
-        key = (inst.iid, op_id)
-        entry = self._wait.get(key)
-        if entry is None:
-            entry = {}
-            self._wait[key] = entry
-        entry[port] = value
-        if self._fire_condition(plan, entry):
-            if plan.slice_index in inst.fetched:
-                self._ready.append((inst, op_id))
-            else:
-                inst.armed.add(op_id)
+        if op_id == bplan.term_id:
+            lit = imms.get(0)
 
-    @staticmethod
-    def _fire_condition(plan, entry: Dict[int, object]) -> bool:
-        if plan.op is Op.MERGE:
-            if 0 not in entry:
-                return False
-            want = 1 if entry[0] else 2
-            return want in entry or want not in plan.token_ports
-        return len(entry) == len(plan.token_ports)
+            def fire_term(inst):
+                entry = inst.wait.pop(op_id, _NO_ENTRY)
+                livebox[0] -= n_t
+                inst.fired.add(op_id)
+                inst.term_fired = True
+                inst.term_decision = (
+                    entry[0] if 0 in entry else lit
+                )
+            return fire_term
 
-    def _fire(self, inst: _Instance, op_id: int) -> None:
-        plan = inst.plan.op(op_id)
-        entry = self._wait.pop((inst.iid, op_id), {})
-        self._live -= len(entry)
-        op = plan.op
+        if op is Op.SPAWN:
+            def fire_spawn(inst):  # pragma: no cover - fetch item only
+                raise SimulationError(
+                    "spawn is a transfer point, not an instruction"
+                )
+            return fire_spawn
 
-        if op_id == inst.plan.term_id:
-            inst.term_fired = True
-            inst.term_decision = (
-                entry[0] if 0 in entry else plan.inputs[0].value
-            )
-            return
         if op is Op.MERGE:
-            d = entry[0]
-            chosen = 1 if d else 2
-            value = (entry[chosen] if chosen in entry
-                     else plan.inputs[chosen].value)
-            self._publish(inst, (op_id, 0), value)
-            return
-        inputs = self._gather(plan, entry)
-        if op is Op.STEER:
-            if bool(inputs[0]) == bool(plan.attrs["sense"]):
-                self._publish(inst, (op_id, 0), inputs[1])
-            self._publish(inst, (op_id, 1), 0)
-        elif op is Op.LOAD:
-            value = self.memory.load(plan.attrs["array"], inputs[0])
-            delay = load_delay(self.load_latency,
-                               plan.attrs["array"], inputs[0])
-            if delay <= 1:
-                self._publish(inst, (op_id, 0), value)
-                self._publish(inst, (op_id, 1), 0)
-            else:
-                due = self.metrics.cycles + delay - 1
-                bucket = self._delayed.setdefault(due, [])
-                bucket.append((inst, (op_id, 0), value))
-                bucket.append((inst, (op_id, 1), 0))
-        elif op is Op.STORE:
-            self.memory.store(plan.attrs["array"], inputs[0], inputs[1])
-            self._publish(inst, (op_id, 0), 0)
-        else:
-            info = OP_INFO[op]
-            if not info.pure:
-                raise SimulationError(f"cannot execute {op.value}")
-            self._publish(inst, (op_id, 0), info.evaluate(*inputs))
+            def fire_merge(inst):
+                entry = inst.wait.pop(op_id, _NO_ENTRY)
+                livebox[0] -= len(entry)
+                inst.fired.add(op_id)
+                chosen = 1 if entry[0] else 2
+                value = (entry[chosen] if chosen in entry
+                         else imms[chosen])
+                inst.env[key0] = value
+                for d in cons0:
+                    append((inst, d, value))
+                livebox[0] += n0
+                if inst.subs:
+                    subs = inst.subs.pop(key0, None)
+                    if subs:
+                        for target, target_key in subs:
+                            forward(target, target_key, value)
+            return fire_merge
 
-    @staticmethod
-    def _gather(plan, entry: Dict[int, object]) -> List[object]:
-        out = []
-        for port, ref in enumerate(plan.inputs):
-            if port in entry:
-                out.append(entry[port])
-            else:
-                out.append(ref.value)  # Lit
-        return out
+        if op is Op.STEER:
+            sense = bool(p.attrs["sense"])
+            imm0 = imms.get(0)
+            imm1 = imms.get(1)
+
+            def fire_steer(inst):
+                entry = inst.wait.pop(op_id, _NO_ENTRY)
+                inst.fired.add(op_id)
+                decider = entry[0] if 0 in entry else imm0
+                value = entry[1] if 1 in entry else imm1
+                if bool(decider) == sense:
+                    inst.env[key0] = value
+                    for d in cons0:
+                        append((inst, d, value))
+                    livebox[0] += n0
+                    if inst.subs:
+                        subs = inst.subs.pop(key0, None)
+                        if subs:
+                            for target, target_key in subs:
+                                forward(target, target_key, value)
+                inst.env[key1] = 0
+                for d in cons1:
+                    append((inst, d, 0))
+                livebox[0] += d1
+                if inst.subs:
+                    subs = inst.subs.pop(key1, None)
+                    if subs:
+                        for target, target_key in subs:
+                            forward(target, target_key, 0)
+            return fire_steer
+
+        if op is Op.LOAD:
+            array = p.attrs["array"]
+            mem_load = self.memory.load
+            latency = self.load_latency
+            metrics = self.metrics
+            delayed = self._delayed
+            imm0 = imms.get(0)
+
+            if latency <= 1:
+                # Idealized timing: every load publishes immediately
+                # (``load_delay`` is the constant 1), so skip the delay
+                # computation and inline both publishes.
+                def fire_load_fast(inst):
+                    entry = inst.wait.pop(op_id, _NO_ENTRY)
+                    inst.fired.add(op_id)
+                    addr = entry[0] if 0 in entry else imm0
+                    value = mem_load(array, addr)
+                    inst.env[key0] = value
+                    for d in cons0:
+                        append((inst, d, value))
+                    livebox[0] += d0
+                    if inst.subs:
+                        subs = inst.subs.pop(key0, None)
+                        if subs:
+                            for target, target_key in subs:
+                                forward(target, target_key, value)
+                    inst.env[key1] = 0
+                    for d in cons1:
+                        append((inst, d, 0))
+                    livebox[0] += n1
+                    if inst.subs:
+                        subs = inst.subs.pop(key1, None)
+                        if subs:
+                            for target, target_key in subs:
+                                forward(target, target_key, 0)
+                return fire_load_fast
+
+            publish = self._publish
+
+            def fire_load(inst):
+                entry = inst.wait.pop(op_id, _NO_ENTRY)
+                livebox[0] -= n_t
+                addr = entry[0] if 0 in entry else imm0
+                value = mem_load(array, addr)
+                delay = load_delay(latency, array, addr)
+                if delay <= 1:
+                    publish(inst, key0, value)
+                    publish(inst, key1, 0)
+                else:
+                    # Fires only at maturity: ``_publish`` marks
+                    # ``inst.fired`` then, keeping the op pending for
+                    # the retire scan until the value lands.
+                    due = metrics.cycles + delay - 1
+                    bucket = delayed.get(due)
+                    if bucket is None:
+                        delayed[due] = bucket = []
+                    bucket.append((inst, key0, value))
+                    bucket.append((inst, key1, 0))
+            return fire_load
+
+        if op is Op.STORE:
+            array = p.attrs["array"]
+            mem_store = self.memory.store
+            imm0 = imms.get(0)
+            imm1 = imms.get(1)
+
+            def fire_store(inst):
+                entry = inst.wait.pop(op_id, _NO_ENTRY)
+                inst.fired.add(op_id)
+                addr = entry[0] if 0 in entry else imm0
+                value = entry[1] if 1 in entry else imm1
+                mem_store(array, addr, value)
+                inst.env[key0] = 0
+                for d in cons0:
+                    append((inst, d, 0))
+                livebox[0] += d0
+                if inst.subs:
+                    subs = inst.subs.pop(key0, None)
+                    if subs:
+                        for target, target_key in subs:
+                            forward(target, target_key, 0)
+            return fire_store
+
+        info = OP_INFO[op]
+        if not info.pure:
+            op_name = op.value
+
+            def fire_illegal(inst):
+                raise SimulationError(f"cannot execute {op_name}")
+            return fire_illegal
+
+        # Pure arithmetic/logic: specialize the common shapes, keep a
+        # generic closure for the rest (immediates, 3-ary).
+        ev = info.evaluate
+        n_in = len(p.inputs)
+
+        if not imms and n_in == 2:
+            def fire_pure2(inst):
+                entry = inst.wait.pop(op_id)
+                inst.fired.add(op_id)
+                value = ev(entry[0], entry[1])
+                inst.env[key0] = value
+                for d in cons0:
+                    append((inst, d, value))
+                livebox[0] += d0
+                if inst.subs:
+                    subs = inst.subs.pop(key0, None)
+                    if subs:
+                        for target, target_key in subs:
+                            forward(target, target_key, value)
+            return fire_pure2
+
+        if not imms and n_in == 1:
+            def fire_pure1(inst):
+                entry = inst.wait.pop(op_id)
+                inst.fired.add(op_id)
+                value = ev(entry[0])
+                inst.env[key0] = value
+                for d in cons0:
+                    append((inst, d, value))
+                livebox[0] += d0
+                if inst.subs:
+                    subs = inst.subs.pop(key0, None)
+                    if subs:
+                        for target, target_key in subs:
+                            forward(target, target_key, value)
+            return fire_pure1
+
+        if n_in == 2 and len(imms) == 1:
+            imm_port = 0 if 0 in imms else 1
+            imm = imms[imm_port]
+            token_port = 1 - imm_port
+
+            if imm_port == 0:
+                def fire_pure_limm(inst):
+                    entry = inst.wait.pop(op_id)
+                    inst.fired.add(op_id)
+                    value = ev(imm, entry[token_port])
+                    inst.env[key0] = value
+                    for d in cons0:
+                        append((inst, d, value))
+                    livebox[0] += d0
+                    if inst.subs:
+                        subs = inst.subs.pop(key0, None)
+                        if subs:
+                            for target, target_key in subs:
+                                forward(target, target_key, value)
+                return fire_pure_limm
+
+            def fire_pure_rimm(inst):
+                entry = inst.wait.pop(op_id)
+                inst.fired.add(op_id)
+                value = ev(entry[token_port], imm)
+                inst.env[key0] = value
+                for d in cons0:
+                    append((inst, d, value))
+                livebox[0] += d0
+                if inst.subs:
+                    subs = inst.subs.pop(key0, None)
+                    if subs:
+                        for target, target_key in subs:
+                            forward(target, target_key, value)
+            return fire_pure_rimm
+
+        def fire_pure(inst):
+            entry = inst.wait.pop(op_id, _NO_ENTRY)
+            inst.fired.add(op_id)
+            value = ev(*[
+                entry[port] if port in entry else imms[port]
+                for port in range(n_in)
+            ])
+            inst.env[key0] = value
+            for d in cons0:
+                append((inst, d, value))
+            livebox[0] += d0
+            if inst.subs:
+                subs = inst.subs.pop(key0, None)
+                if subs:
+                    for target, target_key in subs:
+                        forward(target, target_key, value)
+        return fire_pure
 
     # ------------------------------------------------------------------
     # Guard resolution
     # ------------------------------------------------------------------
     def _op_status(self, inst: _Instance, op_id: int) -> str:
-        plan = inst.plan.op(op_id)
-        if op_id == inst.plan.term_id:
-            return "fired" if inst.term_fired else "pending"
-        if (op_id, 0) in inst.env or (op_id, 1) in inst.env:
+        if op_id in inst.fired:
             return "fired"
-        if self._guard_taken(inst, plan.guard) is False:
+        if op_id == inst.plan.term_id:
+            return "pending"
+        if self._guard_taken(inst, inst.plan.ops[op_id].guard) is False:
             return "untaken"
         return "pending"
 
     @staticmethod
     def _guard_taken(inst: _Instance, guard) -> Optional[bool]:
         result: Optional[bool] = True
+        env = inst.env
         for key, sense in guard:
-            if key not in inst.env:
+            if key not in env:
                 result = None
                 continue
-            if bool(inst.env[key]) != sense:
+            if bool(env[key]) != sense:
                 return False
         return result
 
     # ------------------------------------------------------------------
-    # Retirement
+    # Retirement (the retire loop itself is inlined in :meth:`run`)
     # ------------------------------------------------------------------
-    def _retire_slices(self) -> bool:
-        progressed = False
-        while self._retire:
-            inst, slice_idx = self._retire[0]
-            if not self._slice_complete(inst, slice_idx):
-                break
-            self._retire.popleft()
-            inst.live_slices -= 1
-            progressed = True
-            self._maybe_release(inst)
-        return progressed
-
-    def _slice_complete(self, inst: _Instance, slice_idx: int) -> bool:
-        for op_id in inst.plan.slices[slice_idx]:
-            if self._op_status(inst, op_id) == "pending":
-                return False
-        return True
-
     def _maybe_release(self, inst: _Instance) -> None:
         # Pending subscriptions keep the object alive through Python
         # references from the producing chain; dropping it here only
@@ -384,17 +758,19 @@ class WindowEngine:
     # Fetch (the von Neumann block order)
     # ------------------------------------------------------------------
     def _fetch(self) -> bool:
-        if not self._stack:
+        stack = self._stack
+        if not stack:
             return False
         if len(self._retire) >= self.window:
             self._stall_window += 1
             return False
-        top = self._stack[-1]
+        top = stack[-1]
         inst, idx = top
         plan = inst.plan
-        if idx >= len(plan.items):
+        items = plan.items
+        if idx >= len(items):
             return self._finish_instance(top)
-        kind, payload = plan.items[idx]
+        kind, payload = items[idx]
         if kind == "slice":
             self._fetch_slice(inst, payload)
             top[1] = idx + 1
@@ -410,22 +786,36 @@ class WindowEngine:
             return True
         callee_plan = self.plans[op_plan.callee]
         child = self._make_instance(callee_plan, inst, payload)
-        for i, ref in enumerate(op_plan.inputs):
-            self._bind(inst, ref, child, ("p", i))
+        env = inst.env
+        publish = self._publish
+        for kind, src, pkey in op_plan.bind_specs:
+            if kind:  # BIND_KEY
+                if src in env:
+                    publish(child, pkey, env[src])
+                else:
+                    inst.subs.setdefault(src, []).append((child, pkey))
+            else:
+                publish(child, pkey, src)
         self._stack.append([child, 0])
         return True
 
     def _fetch_slice(self, inst: _Instance, slice_idx: int) -> None:
         inst.fetched.add(slice_idx)
         inst.live_slices += 1
-        self._retire.append((inst, slice_idx))
-        for op_id in inst.plan.slices[slice_idx]:
-            if op_id in inst.armed:
-                inst.armed.discard(op_id)
-                self._ready.append((inst, op_id))
-            elif not inst.plan.ops[op_id].token_ports:
+        ops = inst.plan.slices[slice_idx]
+        # Retire entry: [instance, slice ops, scan position] (the ops
+        # list is carried so the retire scan does no plan lookups).
+        self._retire.append([inst, ops, 0])
+        armed = inst.armed
+        dep = inst.dep
+        ready_append = self._ready.append
+        for op_id in ops:
+            if op_id in armed:
+                armed.discard(op_id)
+                ready_append((inst, op_id))
+            elif not dep[op_id][1]:
                 # Only-literal inputs (loop term with literal decider).
-                self._ready.append((inst, op_id))
+                ready_append((inst, op_id))
 
     def _finish_instance(self, top: List) -> bool:
         inst: _Instance = top[0]
@@ -443,8 +833,16 @@ class WindowEngine:
         inst.done = True
         if inst.term_decision:
             nxt = self._make_instance(plan, inst.parent, inst.parent_spawn)
-            for i, ref in enumerate(plan.next_arg_refs):
-                self._bind(inst, ref, nxt, ("p", i))
+            env = inst.env
+            publish = self._publish
+            for kind, src, pkey in plan.next_arg_specs:
+                if kind:  # BIND_KEY
+                    if src in env:
+                        publish(nxt, pkey, env[src])
+                    else:
+                        inst.subs.setdefault(src, []).append((nxt, pkey))
+                else:
+                    publish(nxt, pkey, src)
             top[0] = nxt
             top[1] = 0
             self._maybe_release(inst)

@@ -37,6 +37,11 @@ Key = Tuple
 #: Plan items: ("slice", index) or ("spawn", op_id).
 Item = Tuple[str, int]
 
+# Deposit kinds (per-op firing-rule selector for the engine's drain
+# loop; mirrors the tagged engine's ``_DEP_*`` selectors).
+DEP_PLAIN = 0
+DEP_MERGE = 1
+
 
 def ref_key(ref: ValueRef) -> Optional[Key]:
     if isinstance(ref, Lit):
@@ -44,6 +49,24 @@ def ref_key(ref: ValueRef) -> Optional[Key]:
     if isinstance(ref, Param):
         return ("p", ref.index)
     return (ref.op_id, ref.port)
+
+
+#: Bind-spec selectors: deliver a literal vs. look up / subscribe to a
+#: value key (precomputed so the engine's bind loops never touch
+#: ``ValueRef`` objects or call ``isinstance``).
+BIND_LIT = 0
+BIND_KEY = 1
+
+
+def bind_spec(ref: ValueRef, tag: object) -> Tuple[int, object, object]:
+    """``(BIND_LIT, value, tag)`` or ``(BIND_KEY, key, tag)``.
+
+    ``tag`` is the delivery target slot: a ``("p", i)`` param key for
+    spawn arguments and loop backedges, a result index for returns.
+    """
+    if isinstance(ref, Lit):
+        return (BIND_LIT, ref.value, tag)
+    return (BIND_KEY, ref_key(ref), tag)
 
 
 @dataclass
@@ -57,6 +80,13 @@ class OpPlan:
     attrs: Dict[str, object]
     is_spawn: bool = False
     callee: Optional[str] = None
+    #: port -> literal value, for every ``Lit`` input (precomputed so
+    #: the engine's hot path never touches ``ValueRef`` objects).
+    imms: Dict[int, object] = field(default_factory=dict)
+    #: Spawn ops only: one :func:`bind_spec` per argument, tagged with
+    #: the callee param key -- the engine's spawn path binds straight
+    #: from these without touching ``ValueRef`` objects.
+    bind_specs: Tuple[Tuple[int, object, object], ...] = ()
 
 
 @dataclass
@@ -71,11 +101,30 @@ class BlockPlan:
     next_arg_refs: Tuple[ValueRef, ...]
     #: Return-value refs.
     result_refs: Tuple[ValueRef, ...]
-    #: value key -> list of (op_id, port) consumers (term included;
-    #: spawns excluded -- their args flow by subscription).
-    consumers: Dict[Key, List[Tuple[int, int]]]
+    #: value key -> list of consumer descriptors
+    #: ``(op_id, port, kind, n_token_ports, slice_index, merge_lit)``
+    #: (term included; spawns excluded -- their args flow by
+    #: subscription).  The trailing four fields repeat :attr:`dep` so
+    #: the engine's deposit drain reads one tuple per token.
+    consumers: Dict[Key, List[Tuple]]
     items: List[Item]
     slices: List[List[int]]
+    #: Per-op deposit descriptor consumed by the engine's drain loop:
+    #: ``(kind, n_token_ports, slice_index, merge_lit)`` where
+    #: ``merge_lit`` is ``(port1_is_literal, port2_is_literal)`` for
+    #: MERGE ops and ``None`` otherwise.  One tuple fetch replaces
+    #: three attribute reads per deposited token.
+    dep: List[Tuple[int, int, int, Optional[Tuple[bool, bool]]]] = (
+        field(default_factory=list)
+    )
+    #: Per-op: does the op have a (non-empty) control guard?  The
+    #: retire scan skips guard resolution entirely for unguarded ops.
+    guarded: List[bool] = field(default_factory=list)
+    #: :func:`bind_spec` per loop backedge argument, tagged with the
+    #: next iteration's param key.
+    next_arg_specs: Tuple[Tuple[int, object, object], ...] = ()
+    #: :func:`bind_spec` per return value, tagged with the result index.
+    result_specs: Tuple[Tuple[int, object, object], ...] = ()
 
     def op(self, op_id: int) -> OpPlan:
         return self.ops[op_id]
@@ -117,6 +166,11 @@ def _plan_block(block: BlockDef) -> BlockPlan:
             attrs=op.attrs,
             is_spawn=op.op is Op.SPAWN,
             callee=op.attrs.get("callee"),
+            imms={p: r.value for p, r in enumerate(op.inputs)
+                  if isinstance(r, Lit)},
+            bind_specs=(tuple(bind_spec(r, ("p", i))
+                              for i, r in enumerate(op.inputs))
+                        if op.op is Op.SPAWN else ()),
         )
         ops.append(plan)
         if op.op is Op.SPAWN:
@@ -140,19 +194,34 @@ def _plan_block(block: BlockDef) -> BlockPlan:
             guard=(),
             slice_index=len(slices) - 1,
             attrs={},
+            imms=({0: term.decider.value}
+                  if isinstance(term.decider, Lit) else {}),
         )
         ops.append(term_plan)
         slices[-1].append(term_id)
     items.append(("slice", len(slices) - 1))
 
-    consumers: Dict[Key, List[Tuple[int, int]]] = {}
+    dep = []
+    for plan in ops:
+        if plan.op is Op.MERGE:
+            dep.append((DEP_MERGE, len(plan.token_ports),
+                        plan.slice_index,
+                        (1 not in plan.token_ports,
+                         2 not in plan.token_ports)))
+        else:
+            dep.append((DEP_PLAIN, len(plan.token_ports),
+                        plan.slice_index, None))
+
+    consumers: Dict[Key, List[Tuple]] = {}
     for plan in ops:
         if plan.is_spawn:
             continue
         for port, ref in enumerate(plan.inputs):
             key = ref_key(ref)
             if key is not None:
-                consumers.setdefault(key, []).append((plan.op_id, port))
+                consumers.setdefault(key, []).append(
+                    (plan.op_id, port) + dep[plan.op_id]
+                )
 
     return BlockPlan(
         name=block.name,
@@ -165,4 +234,10 @@ def _plan_block(block: BlockDef) -> BlockPlan:
         consumers=consumers,
         items=items,
         slices=slices,
+        dep=dep,
+        guarded=[bool(plan.guard) for plan in ops],
+        next_arg_specs=tuple(bind_spec(r, ("p", i))
+                             for i, r in enumerate(next_arg_refs)),
+        result_specs=tuple(bind_spec(r, j)
+                           for j, r in enumerate(result_refs)),
     )

@@ -49,6 +49,8 @@ class WorkloadInstance:
     expected_memory: Dict[str, List]
     expected_results: Tuple[object, ...]
     params: Dict[str, object]
+    #: RNG seed the builder ran with (part of a run's cache identity).
+    seed: int = 0
     _compiled: Optional[CompiledWorkload] = field(default=None,
                                                   repr=False)
 
@@ -199,6 +201,7 @@ def build_workload(name: str, scale: str = "default",
         expected_memory=expected_memory,
         expected_results=tuple(expected_results),
         params=params,
+        seed=seed,
     )
 
 

@@ -1,0 +1,30 @@
+"""Smoke test: a figure experiment run serially and with ``--jobs 4``
+produces byte-identical report data (the tentpole guarantee of the
+parallel harness)."""
+
+import json
+
+from repro.harness.cache import ResultCache
+from repro.harness.experiments import get_experiment
+
+FIG15_KWARGS = {"scale": "tiny", "workload": "dmv",
+                "widths": (8, 32), "tags": 8}
+
+
+def _payload(report) -> str:
+    return json.dumps(report.data, sort_keys=True)
+
+
+def test_fig15_serial_vs_parallel_identical():
+    serial = get_experiment("fig15")(jobs=1, **FIG15_KWARGS)
+    parallel = get_experiment("fig15")(jobs=4, **FIG15_KWARGS)
+    assert _payload(serial) == _payload(parallel)
+
+
+def test_fig15_cached_rerun_identical(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cold = get_experiment("fig15")(jobs=4, cache=cache, **FIG15_KWARGS)
+    assert cache.misses == 8 and cache.hits == 0
+    warm = get_experiment("fig15")(jobs=1, cache=cache, **FIG15_KWARGS)
+    assert cache.hits == 8
+    assert _payload(cold) == _payload(warm)

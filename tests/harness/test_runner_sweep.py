@@ -41,6 +41,34 @@ def test_entry_args_padding_and_overflow():
         cw.entry_args([1, 2, 3, 4, 5])
 
 
+def test_entry_args_pads_hidden_params_with_zeros():
+    wl = build_workload("dmv", "tiny")
+    n_params = wl.compiled.program.entry_block().n_params
+    full = wl.compiled.entry_args(wl.args)
+    assert len(full) == n_params
+    assert full[:len(wl.args)] == list(wl.args)
+    assert all(v == 0 for v in full[len(wl.args):])
+
+
+def test_declared_results_truncation():
+    cw = CompiledWorkload(lower_module(sum_loop_module()))
+    # Without metadata, every result is declared.
+    cw.program.meta.pop("entry_declared_results", None)
+    assert cw.declared_results((1, 2, 3)) == (1, 2, 3)
+    cw.program.meta["entry_declared_results"] = 1
+    assert cw.declared_results((1, 2, 3)) == (1,)
+    cw.program.meta["entry_declared_results"] = 0
+    assert cw.declared_results((1, 2, 3)) == ()
+
+
+def test_fingerprint_tracks_program_content():
+    a = CompiledWorkload(lower_module(sum_loop_module()))
+    b = CompiledWorkload(lower_module(sum_loop_module()))
+    assert a.fingerprint == b.fingerprint
+    other = build_workload("dmv", "tiny").compiled
+    assert a.fingerprint != other.fingerprint
+
+
 def test_unknown_machine_rejected():
     cw = CompiledWorkload(lower_module(sum_loop_module()))
     with pytest.raises(SimulationError, match="unknown machine"):

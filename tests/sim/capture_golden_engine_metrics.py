@@ -35,11 +35,31 @@ GOLDEN_RUNS = (
 #: Tagged policies under test plus the queued (ordered) engine.
 GOLDEN_MACHINES = ("tyr", "unordered", "kbounded", "ordered")
 
+#: Window-engine machines (vn/ooo/seqdf) and the data-parallel
+#: machine, pinned before the PR 2 hot-path rewrite of
+#: :mod:`repro.sim.window.engine`.
+GOLDEN_WINDOW_MACHINES = ("vn", "ooo", "seqdf", "datapar")
+
 #: Non-default engine configurations that must also stay identical.
 GOLDEN_VARIANTS = (
     {"sample_traces": False},
     {"track_occupancy": True},
     {"load_latency": 6},
+)
+
+#: Variants exercised on the window/data-parallel machines
+#: (``track_occupancy`` only instruments the tagged wait-match store).
+GOLDEN_WINDOW_VARIANTS = (
+    {"sample_traces": False},
+    {"load_latency": 6},
+)
+
+#: Window-geometry variants (seqdf only: vn/ooo pin their own
+#: window/width in the runner; datapar takes lanes from issue_width).
+GOLDEN_SEQDF_VARIANTS = (
+    {"window": 2},
+    {"window": 4, "issue_width": 8},
+    {"issue_width": 4},
 )
 
 OUT = os.path.join(os.path.dirname(__file__),
@@ -72,6 +92,13 @@ def describe(result):
         rec["peak_store_occupancy"] = dict(
             sorted(result.extra["peak_store_occupancy"].items())
         )
+    if "fetch_stall_decider_cycles" in result.extra:
+        rec["fetch_stall_decider_cycles"] = (
+            result.extra["fetch_stall_decider_cycles"]
+        )
+        rec["fetch_stall_window_cycles"] = (
+            result.extra["fetch_stall_window_cycles"]
+        )
     return rec
 
 
@@ -79,7 +106,7 @@ def capture():
     golden = {}
     for name, scale in GOLDEN_RUNS:
         wl = build_workload(name, scale)
-        for machine in GOLDEN_MACHINES:
+        for machine in GOLDEN_MACHINES + GOLDEN_WINDOW_MACHINES:
             res = wl.run_checked(machine)
             golden[run_key(name, scale, machine, {})] = describe(res)
     # Variant configurations on one representative workload each.
@@ -92,6 +119,17 @@ def capture():
             golden[run_key("dmv", "tiny", machine, variant)] = (
                 describe(res)
             )
+    for machine in GOLDEN_WINDOW_MACHINES:
+        for variant in GOLDEN_WINDOW_VARIANTS:
+            res, mem = wl.run(machine, **variant)
+            golden[run_key("dmv", "tiny", machine, variant)] = (
+                describe(res)
+            )
+    for variant in GOLDEN_SEQDF_VARIANTS:
+        res, mem = wl.run("seqdf", **variant)
+        golden[run_key("dmv", "tiny", "seqdf", variant)] = (
+            describe(res)
+        )
     return golden
 
 

@@ -2,10 +2,13 @@
 simulated behavior.
 
 ``golden_engine_metrics.json`` pins cycles, instructions, peak/mean
-live state, declared results and tag-pool statistics for every
-registered workload on every tagged policy plus the queued (ordered)
-engine, captured at the seed commit.  These tests replay the same runs
-and assert bit-identical numbers.
+live state, declared results, tag-pool statistics, and fetch-stall
+counters for every registered workload on every tagged policy, the
+queued (ordered) engine, the window machines (vn/ooo/seqdf), and the
+data-parallel machine -- each captured *before* its hot-path rewrite
+(tagged/queued at the seed commit, window/datapar before the PR 2
+overhaul).  These tests replay the same runs and assert bit-identical
+numbers.
 
 Also here: regression tests for the stall-loop bugs (both engines'
 memory-stall branches used to skip the ``max_cycles`` check, so a
