@@ -33,20 +33,30 @@ from repro.workloads import build_workload
 #: (workload, scale, machine) cases tracked by the benchmark record.
 #: ``tyr``/``ordered`` cover the tagged and queued engines (PR 1);
 #: ``vn``/``seqdf`` cover the window engine, on the original two
-#: workloads plus a stencil (dconv) and a graph kernel (bfs).
+#: workloads plus a stencil (dconv) and a graph kernel (bfs);
+#: ``datapar`` covers the vector engine and the ``large`` rows keep
+#: full-scale sweeps honest (PR 3).
 CASES = (
     ("dmv", "small", "tyr"),
     ("dmv", "small", "ordered"),
     ("dmv", "small", "vn"),
     ("dmv", "small", "seqdf"),
+    ("dmv", "small", "datapar"),
     ("smv", "small", "tyr"),
     ("smv", "small", "ordered"),
     ("smv", "small", "vn"),
     ("smv", "small", "seqdf"),
+    ("smv", "small", "datapar"),
     ("dconv", "small", "tyr"),
     ("dconv", "small", "seqdf"),
+    ("dconv", "small", "datapar"),
     ("bfs", "small", "tyr"),
     ("bfs", "small", "seqdf"),
+    ("dmv", "large", "tyr"),
+    ("dmv", "large", "seqdf"),
+    ("dmv", "large", "datapar"),
+    ("smv", "large", "tyr"),
+    ("bfs", "large", "seqdf"),
 )
 
 DEFAULT_THRESHOLD = 0.30
@@ -82,13 +92,30 @@ def _run_case(name: str, scale: str, machine: str,
     }
 
 
+def _record_date(path: str) -> str:
+    """The ISO ``date`` stamped inside a record ('' if unreadable)."""
+    try:
+        with open(path) as fh:
+            date = json.load(fh).get("date", "")
+    except (OSError, json.JSONDecodeError):
+        return ""
+    return date if isinstance(date, str) else ""
+
+
 def _latest_baseline(out_path: str) -> Optional[str]:
-    """Most recently written BENCH_*.json, excluding the output file."""
+    """The newest BENCH_*.json, excluding the output file.
+
+    Ordered by the ``date`` field stamped *inside* each record (ISO
+    strings sort chronologically), with file mtime as a tiebreak --
+    a fresh checkout gives every file the same mtime, and editing an
+    old record must not promote it over a newer one.
+    """
     records = [p for p in glob.glob("BENCH_*.json")
                if os.path.abspath(p) != os.path.abspath(out_path)]
     if not records:
         return None
-    return max(records, key=os.path.getmtime)
+    return max(records,
+               key=lambda p: (_record_date(p), os.path.getmtime(p)))
 
 
 def _check_regressions(cases: Dict[str, Dict[str, object]],

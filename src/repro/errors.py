@@ -50,3 +50,16 @@ class TokenBoundExceeded(SimulationError):
 
 class MemoryError_(SimulationError):
     """An out-of-bounds or undeclared-array access occurred."""
+
+
+class MetricsUnavailable(ReproError):
+    """A trace-derived metric was requested from a result whose traces
+    were not sampled and whose aggregate fallbacks are absent.
+
+    Engine-produced results never hit this (``MetricsRecorder`` records
+    ``peak_live``/``mean_live`` aggregates in ``extra`` when trace
+    sampling is off); it guards hand-built
+    :class:`~repro.sim.metrics.ExecutionResult` objects from silently
+    reading "no live state" out of a result that simply was not
+    sampled.
+    """

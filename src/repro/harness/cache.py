@@ -23,6 +23,10 @@ one overwrite winning.
 
 The default root is ``$REPRO_CACHE_DIR`` or ``.repro-cache`` in the
 working directory. A corrupt or unreadable entry is treated as a miss.
+
+:class:`CompileCache` reuses the same store layout for compiled
+machine artifacts (elaborated tagged graphs, flattened queued graphs),
+keyed by program fingerprint + artifact kind under ``<root>/plans``.
 """
 
 from __future__ import annotations
@@ -37,7 +41,14 @@ from repro.sim.metrics import ExecutionResult
 
 #: Bump when a change legitimately alters simulated metrics (i.e. the
 #: golden-metrics file is regenerated) or the pickled entry format.
-CACHE_VERSION = 1
+#: v2: traces are run-length encoded (PR 3).
+CACHE_VERSION = 2
+
+#: Version of the *compiled-plan* cache (:class:`CompileCache`). Bump
+#: when :func:`repro.compiler.elaborate.elaborate` /
+#: :func:`repro.compiler.flatten.flatten` change their output for the
+#: same input program.
+PLAN_VERSION = 1
 
 DEFAULT_ROOT = ".repro-cache"
 
@@ -62,38 +73,38 @@ def result_key(fingerprint: str,
     return hashlib.sha256(text.encode()).hexdigest()
 
 
-class ResultCache:
-    """Content-addressed store of pickled :class:`ExecutionResult`."""
+class _PickleStore:
+    """Sharded atomic pickle store -- base for both caches."""
 
-    def __init__(self, root: Optional[str] = None):
-        self.root = (root or os.environ.get("REPRO_CACHE_DIR")
-                     or DEFAULT_ROOT)
+    def __init__(self, root: str):
+        self.root = root
         self.hits = 0
         self.misses = 0
 
     def _path(self, key: str) -> str:
         return os.path.join(self.root, key[:2], key + ".pkl")
 
-    def get(self, key: str) -> Optional[ExecutionResult]:
-        """The cached result for ``key``, or None (counted as a miss)."""
+    def get(self, key: str):
+        """The cached object for ``key``, or None (counted as a miss)."""
         try:
             with open(self._path(key), "rb") as fh:
-                result = pickle.load(fh)
-        except (OSError, pickle.PickleError, EOFError, ValueError):
+                obj = pickle.load(fh)
+        except (OSError, pickle.PickleError, EOFError, ValueError,
+                AttributeError, ImportError):
             self.misses += 1
             return None
         self.hits += 1
-        return result
+        return obj
 
-    def put(self, key: str, result: ExecutionResult) -> None:
-        """Store ``result`` atomically (temp file + rename)."""
+    def put(self, key: str, obj) -> None:
+        """Store ``obj`` atomically (temp file + rename)."""
         path = self._path(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
                                    suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump(result, fh,
+                pickle.dump(obj, fh,
                             protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)
         except BaseException:
@@ -106,3 +117,46 @@ class ResultCache:
     def stats(self) -> str:
         return (f"cache: {self.hits} hit(s), {self.misses} miss(es) "
                 f"at {self.root}")
+
+
+class ResultCache(_PickleStore):
+    """Content-addressed store of pickled :class:`ExecutionResult`."""
+
+    def __init__(self, root: Optional[str] = None):
+        super().__init__(root or os.environ.get("REPRO_CACHE_DIR")
+                         or DEFAULT_ROOT)
+
+    def get(self, key: str) -> Optional[ExecutionResult]:
+        return super().get(key)
+
+
+def plan_key(fingerprint: str, kind: str) -> str:
+    """Key for one compiled artifact of one program.
+
+    ``kind`` names the lowering (``"tagged"`` for the elaborated
+    tagged graph, ``"flat"`` for the flattened queued graph); the
+    program is identified by its IR fingerprint, so the cache is
+    content-addressed exactly like :class:`ResultCache` and survives
+    workload renames / parameter re-spellings that lower to the same
+    program.
+    """
+    text = repr((PLAN_VERSION, fingerprint, kind))
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+class CompileCache(_PickleStore):
+    """Persistent store of compiled machine artifacts.
+
+    Elaboration and flattening are deterministic functions of the
+    context program, so an artifact can be shared across processes and
+    sessions keyed only by ``(PLAN_VERSION, fingerprint, kind)``.
+    Lives under ``<result-cache-root>/plans`` by default (see
+    :func:`repro.harness.pool.run_specs`) so one ``--cache-dir`` flag
+    governs both.
+    """
+
+    def get_plan(self, fingerprint: str, kind: str):
+        return self.get(plan_key(fingerprint, kind))
+
+    def put_plan(self, fingerprint: str, kind: str, artifact) -> None:
+        self.put(plan_key(fingerprint, kind), artifact)

@@ -11,6 +11,7 @@ from __future__ import annotations
 from repro.harness.ascii_plots import line_chart, table
 from repro.harness.experiments.base import ExperimentReport, register
 from repro.harness.results import downsample
+from repro.sim.metrics import trace_peak
 from repro.harness.runner import PAPER_SYSTEMS
 from repro.harness.sweep import run_machines
 from repro.workloads import build_workload
@@ -40,7 +41,7 @@ def run(scale: str = "default", workload: str = "spmspm",
                 summary_rows)
     data = {
         "cycles": {m: len(t) for m, t in traces.items()},
-        "peak": {m: max(t) if t else 0 for m, t in traces.items()},
+        "peak": {m: trace_peak(t) for m, t in traces.items()},
         "traces": {m: downsample(t, 100) for m, t in traces.items()},
     }
     return ExperimentReport(

@@ -12,6 +12,7 @@ from __future__ import annotations
 from repro.harness.ascii_plots import line_chart, table
 from repro.harness.experiments.base import ExperimentReport, register
 from repro.harness.results import downsample
+from repro.sim.metrics import trace_peak
 from repro.harness.runner import PAPER_SYSTEMS
 from repro.harness.sweep import run_machines
 from repro.workloads import build_workload
@@ -34,7 +35,7 @@ def run(scale: str = "small", workload: str = "dmv",
         rows.append([
             machine,
             res.cycles,  # trace width (time)
-            max(res.ipc_trace, default=0),  # trace height (parallelism)
+            trace_peak(res.ipc_trace),  # trace height (parallelism)
             round(res.mean_ipc, 2),
         ])
     chart = line_chart(

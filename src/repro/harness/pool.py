@@ -15,10 +15,14 @@ and experiment driver:
 * with a :class:`~repro.harness.cache.ResultCache`, the parent first
   resolves hits and only dispatches misses (successful runs are
   written back; failures are never cached);
-* workers are forked, so compiled artifacts already materialized in
-  the parent (programs, tagged/flat graphs) are inherited for free,
-  and a per-process memo (:data:`_WL_MEMO`) compiles each remaining
-  program at most once per worker;
+* workers are forked, and the parent **precompiles** every artifact
+  the pending specs need first (:func:`precompile_specs`) -- programs,
+  tagged/flat graphs -- so children inherit finished lowerings through
+  copy-on-write pages; a per-process memo (:data:`_WL_MEMO`) still
+  covers anything built after the fork. With a result cache, compiled
+  artifacts also persist across processes in a
+  :class:`~repro.harness.cache.CompileCache` under
+  ``<cache-root>/plans``;
 * :class:`~repro.errors.DeadlockError` / ``SimulationError`` raised by
   a run are re-raised with the failing workload, machine, and config
   appended to the message -- essential once failures surface from pool
@@ -28,11 +32,13 @@ and experiment driver:
 from __future__ import annotations
 
 import multiprocessing
+import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Type
 
 from repro.errors import DeadlockError, ReproError, SimulationError
-from repro.harness.cache import ResultCache, result_key
+from repro.harness.cache import CompileCache, ResultCache, result_key
+from repro.harness.runner import _TAGGED_MACHINES
 from repro.sim.metrics import ExecutionResult
 from repro.workloads.registry import WorkloadInstance, build_workload
 
@@ -131,6 +137,50 @@ def cache_key(spec: RunSpec) -> str:
     )
 
 
+def precompile_specs(specs: Sequence[RunSpec],
+                     plan_cache: Optional[CompileCache] = None
+                     ) -> None:
+    """Materialize every compiled artifact the specs need, in the
+    parent, before any fork.
+
+    Touching the lazy properties here means forked workers inherit the
+    finished lowerings through copy-on-write pages instead of each
+    recompiling them: ``.program`` (the frontend lowering) for every
+    spec, plus the machine-specific lowering -- the elaborated tagged
+    graph for tagged machines, the flattened graph for ``ordered``.
+    The window and data-parallel engines execute the context program
+    directly, so ``.program`` covers them.
+
+    With a ``plan_cache``, each lowering is first looked up in (and on
+    a miss written back to) the persistent store, so a *new* parent
+    process skips recompilation entirely for programs any earlier run
+    already lowered.
+    """
+    def ensure(compiled, kind: str, attr: str):
+        artifact = getattr(compiled, attr)  # force the lazy lowering
+        # Backfill the store for artifacts materialized before the
+        # plan cache was attached (e.g. by an earlier serial run).
+        if (plan_cache is not None
+                and plan_cache.get_plan(compiled.fingerprint,
+                                        kind) is None):
+            plan_cache.put_plan(compiled.fingerprint, kind, artifact)
+
+    seen: set = set()
+    for spec in specs:
+        key = (_memo_key(spec), spec.machine)
+        if key in seen:
+            continue
+        seen.add(key)
+        compiled = workload_for(spec).compiled
+        if plan_cache is not None:
+            compiled.plan_cache = plan_cache
+        compiled.program  # noqa: B018 -- force the frontend lowering
+        if spec.machine in _TAGGED_MACHINES:
+            ensure(compiled, "tagged", "tagged")
+        elif spec.machine == "ordered":
+            ensure(compiled, "flat", "flat")
+
+
 def run_one(spec: RunSpec) -> ExecutionResult:
     """Execute one spec; simulation failures carry the spec context."""
     wl = workload_for(spec)
@@ -158,6 +208,7 @@ def _run_guarded(spec: RunSpec) -> Tuple[bool, object]:
 def run_specs(specs: Sequence[RunSpec], jobs: int = 1,
               cache: Optional[ResultCache] = None,
               tolerate: Tuple[Type[BaseException], ...] = (),
+              plan_cache: Optional[CompileCache] = None,
               ) -> List[object]:
     """Execute specs, in order, optionally cached and in parallel.
 
@@ -167,8 +218,17 @@ def run_specs(specs: Sequence[RunSpec], jobs: int = 1,
     tolerated per-spec but never cached. Note a tolerated exception
     that crossed a process boundary loses attributes outside
     ``args`` (e.g. ``DeadlockError.diagnosis``).
+
+    When a result ``cache`` is given without an explicit
+    ``plan_cache``, compiled artifacts persist to
+    ``<cache.root>/plans`` (see :class:`CompileCache`). Before forking
+    workers, the parent precompiles every artifact the pending specs
+    need (:func:`precompile_specs`) so children inherit them
+    copy-on-write instead of recompiling per worker.
     """
     specs = list(specs)
+    if plan_cache is None and cache is not None:
+        plan_cache = CompileCache(os.path.join(cache.root, "plans"))
     results: List[object] = [None] * len(specs)
     keys: Dict[int, str] = {}
     pending: List[int] = []
@@ -182,6 +242,8 @@ def run_specs(specs: Sequence[RunSpec], jobs: int = 1,
         pending.append(i)
 
     outcomes: Dict[int, Tuple[bool, object]] = {}
+    if pending and (jobs > 1 or plan_cache is not None):
+        precompile_specs([specs[i] for i in pending], plan_cache)
     if jobs > 1 and len(pending) > 1:
         ctx = multiprocessing.get_context("fork")
         with ctx.Pool(min(jobs, len(pending))) as workers:

@@ -10,7 +10,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, List, Sequence, Tuple
 
-from repro.sim.metrics import ExecutionResult
+from repro.sim.metrics import ExecutionResult, RLETrace
 
 
 def gmean(values: Iterable[float]) -> float:
@@ -63,8 +63,65 @@ def state_reduction_vs(results: Dict[str, Dict[str, ExecutionResult]],
     return out
 
 
+def trace_histogram(trace: Sequence[int]) -> Dict[int, int]:
+    """value -> cycle count for a trace (O(runs) for RLE traces)."""
+    if isinstance(trace, RLETrace):
+        return trace.histogram()
+    out: Dict[int, int] = {}
+    for value in trace:
+        out[value] = out.get(value, 0) + 1
+    return out
+
+
+def merge_histograms(histograms: Iterable[Dict[int, int]]
+                     ) -> Dict[int, int]:
+    """Pointwise sum of value->count histograms.
+
+    The merged histogram carries the same information as
+    concatenating the underlying traces, without materializing them --
+    how cross-app distributions (paper Fig. 13) are aggregated.
+    """
+    out: Dict[int, int] = {}
+    for hist in histograms:
+        for value, count in hist.items():
+            out[value] = out.get(value, 0) + count
+    return out
+
+
+def histogram_quantile(histogram: Dict[int, int], index: int) -> int:
+    """The value at position ``index`` of the sorted concatenated
+    trace (``sorted(trace)[index]`` without building the list)."""
+    seen = 0
+    for value, count in sorted(histogram.items()):
+        seen += count
+        if seen > index:
+            return value
+    return 0
+
+
+def histogram_cdf(histogram: Dict[int, int]
+                  ) -> List[Tuple[float, float]]:
+    """CDF points of a histogram, matching :func:`ipc_cdf` on the
+    concatenated trace."""
+    total = sum(histogram.values())
+    if not total:
+        return []
+    points: List[Tuple[float, float]] = []
+    seen = 0
+    for value, count in sorted(histogram.items()):
+        seen += count
+        points.append((float(value), seen / total))
+    return points
+
+
 def ipc_cdf(trace: Sequence[int]) -> List[Tuple[float, float]]:
-    """(ipc, fraction of cycles with IPC <= ipc) points of a CDF."""
+    """(ipc, fraction of cycles with IPC <= ipc) points of a CDF.
+
+    RLE traces aggregate from their run histogram without
+    materializing per-cycle values.
+    """
+    if isinstance(trace, RLETrace):
+        return trace.cdf()
     if not trace:
         return []
     values = sorted(trace)
@@ -77,7 +134,12 @@ def ipc_cdf(trace: Sequence[int]) -> List[Tuple[float, float]]:
 
 
 def downsample(trace: Sequence[float], n_points: int = 100) -> List[float]:
-    """Bucket-max downsampling for long traces (keeps peaks visible)."""
+    """Bucket-max downsampling for long traces (keeps peaks visible).
+
+    RLE traces walk their runs instead of slicing per-cycle values.
+    """
+    if isinstance(trace, RLETrace):
+        return trace.downsample(n_points)
     if len(trace) <= n_points:
         return list(trace)
     out = []

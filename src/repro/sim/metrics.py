@@ -4,40 +4,352 @@ The paper samples IPC and the number of live tokens every cycle; peak
 and mean live state are the locality metrics (Fig. 14), the per-cycle
 traces drive Figs. 2, 9, 16, 18, and the IPC samples drive the CDF of
 Fig. 13.
+
+Storage layout (PR 3): per-cycle traces are **run-length encoded**
+into paired ``array('q')`` buffers (:class:`RLETrace`) instead of
+plain Python lists.  Simulated traces are extremely repetitive -- vN
+fires exactly 1 instruction every cycle, stall regions hold the live
+count constant for thousands of cycles -- so RLE shrinks a
+multi-million-cycle trace by orders of magnitude, which is what makes
+``--scale large`` sweeps (and their pickled
+:class:`~repro.harness.cache.ResultCache` entries) tractable.
+
+The contract consumers rely on:
+
+* ``MetricsRecorder.sample``/``sample_idle`` are O(1) appends to the
+  compact arrays;
+* ``ExecutionResult.ipc_trace``/``live_trace`` are *lazy sequences*:
+  indexing, slicing, iteration, ``len`` and equality all behave like
+  the old lists, but nothing is materialized until asked for;
+* streaming aggregations (:meth:`RLETrace.peak`,
+  :meth:`RLETrace.total`, :meth:`RLETrace.histogram`,
+  :meth:`RLETrace.cdf`, :meth:`RLETrace.downsample`) answer the
+  Fig. 13/14/16-style questions straight from the runs, so those
+  consumers never materialize a trace at all.
 """
 
 from __future__ import annotations
 
+from array import array
+from bisect import bisect_right
+from collections.abc import Sequence as _SequenceABC
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from itertools import islice, repeat
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import MetricsUnavailable
+
+
+def _rebuild_rle(values: array, counts: array) -> "RLETrace":
+    """Pickle helper (module-level so old pickles stay loadable)."""
+    trace = RLETrace.__new__(RLETrace)
+    trace._values = values
+    trace._counts = counts
+    trace._length = sum(counts)
+    trace._cum = None
+    return trace
+
+
+def _pack_array(arr: array) -> Tuple[str, bytes]:
+    """Narrowest-typecode, zlib-compressed wire form of a run array.
+
+    In-memory runs are int64 for O(1) appends without overflow checks,
+    but on the wire that wastes 8 bytes on values that are almost
+    always small (IPC <= issue width, run counts mostly 1). Narrowing
+    first makes the compressor's input 2-8x smaller; compressing then
+    flattens the remaining repetition.
+    """
+    import zlib
+
+    if arr:
+        lo, hi = min(arr), max(arr)
+        for code, bound in (("b", 1 << 7), ("h", 1 << 15),
+                            ("i", 1 << 31)):
+            if -bound <= lo and hi < bound:
+                return code, zlib.compress(array(code, arr).tobytes())
+    return "q", zlib.compress(arr.tobytes())
+
+
+def _unpack_array(code: str, blob: bytes) -> array:
+    import zlib
+
+    narrow = array(code)
+    narrow.frombytes(zlib.decompress(blob))
+    return narrow if code == "q" else array("q", narrow)
+
+
+def _rebuild_rle_packed(values_code: str, values_blob: bytes,
+                        counts_code: str, counts_blob: bytes
+                        ) -> "RLETrace":
+    """Pickle helper for the packed wire format."""
+    return _rebuild_rle(_unpack_array(values_code, values_blob),
+                        _unpack_array(counts_code, counts_blob))
+
+
+class RLETrace(_SequenceABC):
+    """A run-length-encoded trace of per-cycle integer samples.
+
+    Runs are kept canonical (adjacent runs never hold equal values, all
+    counts are positive), so two traces are equal iff their run arrays
+    are equal.  Random access is O(log runs) via a lazily built
+    cumulative-count index; iteration and aggregation are O(runs).
+    """
+
+    __slots__ = ("_values", "_counts", "_length", "_cum")
+
+    def __init__(self, samples: Optional[Sequence[int]] = None):
+        self._values = array("q")
+        self._counts = array("q")
+        self._length = 0
+        #: Lazily built inclusive cumulative counts (``_cum[r]`` is the
+        #: number of samples in runs ``0..r``); invalidated by appends.
+        self._cum: Optional[array] = None
+        if samples:
+            for value in samples:
+                self.append(value)
+
+    # -- recording (the engines' per-cycle hot path) -------------------
+    def append(self, value: int) -> None:
+        """Record one sample (O(1); merges into the last run)."""
+        counts = self._counts
+        if counts and self._values[-1] == value:
+            counts[-1] += 1
+        else:
+            self._values.append(value)
+            counts.append(1)
+        self._length += 1
+
+    def append_run(self, value: int, n: int) -> None:
+        """Record ``n`` consecutive equal samples (O(1))."""
+        if n <= 0:
+            return
+        counts = self._counts
+        if counts and self._values[-1] == value:
+            counts[-1] += n
+        else:
+            self._values.append(value)
+            counts.append(n)
+        self._length += n
+
+    # -- sequence protocol ---------------------------------------------
+    def __len__(self) -> int:
+        return self._length
+
+    def __bool__(self) -> bool:
+        return self._length > 0
+
+    def __iter__(self) -> Iterator[int]:
+        for value, count in zip(self._values, self._counts):
+            yield from repeat(value, count)
+
+    def _cumulative(self) -> array:
+        cum = self._cum
+        if cum is None or (len(cum) != len(self._counts)
+                           or (cum and cum[-1] != self._length)):
+            cum = array("q")
+            total = 0
+            for count in self._counts:
+                total += count
+                cum.append(total)
+            self._cum = cum
+        return cum
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            start, stop, step = index.indices(self._length)
+            if step == 1:
+                return self._materialize_range(start, stop)
+            return [self[i] for i in range(start, stop, step)]
+        if index < 0:
+            index += self._length
+        if not 0 <= index < self._length:
+            raise IndexError("trace index out of range")
+        return self._values[bisect_right(self._cumulative(), index)]
+
+    def _materialize_range(self, start: int, stop: int) -> List[int]:
+        if stop <= start:
+            return []
+        out: List[int] = []
+        cum = self._cumulative()
+        r = bisect_right(cum, start)
+        pos = start
+        values = self._values
+        while pos < stop:
+            run_end = cum[r]
+            take = min(stop, run_end) - pos
+            out.extend(repeat(values[r], take))
+            pos += take
+            r += 1
+        return out
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, RLETrace):
+            return (self._values == other._values
+                    and self._counts == other._counts)
+        if isinstance(other, (list, tuple)):
+            if len(other) != self._length:
+                return False
+            it = iter(other)
+            for value, count in zip(self._values, self._counts):
+                if any(value != got for got in islice(it, count)):
+                    return False
+            return True
+        return NotImplemented
+
+    __hash__ = None  # unhashable, like the lists it replaces
+
+    def __repr__(self) -> str:
+        return (f"RLETrace(len={self._length}, "
+                f"runs={len(self._values)})")
+
+    # -- streaming aggregation -----------------------------------------
+    def runs(self) -> Iterator[Tuple[int, int]]:
+        """(value, count) pairs in trace order."""
+        return zip(self._values, self._counts)
+
+    @property
+    def n_runs(self) -> int:
+        return len(self._values)
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate storage footprint of the encoded runs."""
+        return (self._values.itemsize * len(self._values)
+                + self._counts.itemsize * len(self._counts))
+
+    def peak(self, default: int = 0) -> int:
+        return max(self._values) if self._values else default
+
+    def total(self) -> int:
+        return sum(v * c for v, c in zip(self._values, self._counts))
+
+    def mean(self) -> float:
+        return self.total() / self._length if self._length else 0.0
+
+    def histogram(self) -> Dict[int, int]:
+        """value -> number of cycles with that sample."""
+        hist: Dict[int, int] = {}
+        for value, count in zip(self._values, self._counts):
+            hist[value] = hist.get(value, 0) + count
+        return hist
+
+    def cdf(self) -> List[Tuple[float, float]]:
+        """(value, fraction of samples <= value) CDF points."""
+        if not self._length:
+            return []
+        hist = self.histogram()
+        points: List[Tuple[float, float]] = []
+        seen = 0
+        for value in sorted(hist):
+            seen += hist[value]
+            points.append((float(value), seen / self._length))
+        return points
+
+    def sorted_value_at(self, index: int) -> int:
+        """The sample at position ``index`` of the sorted trace
+        (i.e. ``sorted(trace)[index]`` without materializing)."""
+        if not 0 <= index < self._length:
+            raise IndexError("trace index out of range")
+        seen = 0
+        for value, count in sorted(self.histogram().items()):
+            seen += count
+            if index < seen:
+                return value
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def downsample(self, n_points: int = 100) -> List[int]:
+        """Bucket-max downsampling (keeps peaks visible); identical
+        output to :func:`repro.harness.results.downsample` on the
+        materialized trace."""
+        n = self._length
+        if n <= n_points:
+            return self._materialize_range(0, n)
+        cum = self._cumulative()
+        values = self._values
+        out: List[int] = []
+        step = n / n_points
+        for i in range(n_points):
+            lo = int(i * step)
+            hi = max(lo + 1, int((i + 1) * step))
+            r = bisect_right(cum, lo)
+            best = values[r]
+            while cum[r] < hi:
+                r += 1
+                if values[r] > best:
+                    best = values[r]
+            out.append(best)
+        return out
+
+    def to_list(self) -> List[int]:
+        return self._materialize_range(0, self._length)
+
+    # -- pickling (compact: narrowed + compressed run arrays) ----------
+    def __reduce__(self):
+        return (_rebuild_rle_packed,
+                _pack_array(self._values) + _pack_array(self._counts))
+
+
+def trace_peak(trace: Sequence[int], default: int = 0) -> int:
+    """Peak of a trace, streaming when it is run-length encoded."""
+    if isinstance(trace, RLETrace):
+        return trace.peak(default)
+    return max(trace, default=default)
+
+
+def trace_total(trace: Sequence[int]) -> int:
+    """Sum of a trace, streaming when it is run-length encoded."""
+    if isinstance(trace, RLETrace):
+        return trace.total()
+    return sum(trace)
 
 
 @dataclass
 class ExecutionResult:
-    """Outcome and metrics of one simulated execution."""
+    """Outcome and metrics of one simulated execution.
+
+    ``ipc_trace``/``live_trace`` are lazy sequences (normally
+    :class:`RLETrace`); indexing, slicing, iteration and equality
+    behave like lists, and nothing is materialized until asked for.
+    Plain lists are still accepted for hand-built results (and old
+    pickled cache entries).
+    """
 
     machine: str
     completed: bool
     cycles: int
     instructions: int
     results: Tuple[object, ...]
-    ipc_trace: List[int]
-    live_trace: List[int]
+    ipc_trace: Sequence[int]
+    live_trace: Sequence[int]
     extra: Dict[str, object] = field(default_factory=dict)
 
     @property
     def peak_live(self) -> int:
-        if not self.live_trace and "peak_live" in self.extra:
-            return self.extra["peak_live"]
-        return max(self.live_trace, default=0)
+        if len(self.live_trace) == 0:
+            if "peak_live" in self.extra:
+                return self.extra["peak_live"]
+            if self.cycles > 0:
+                raise MetricsUnavailable(
+                    f"{self.machine}: live trace was not sampled and "
+                    "extra['peak_live'] is absent; run with "
+                    "sample_traces=True or record the aggregate"
+                )
+            return 0
+        return trace_peak(self.live_trace)
 
     @property
     def mean_live(self) -> float:
-        if not self.live_trace and "mean_live" in self.extra:
-            return self.extra["mean_live"]
-        if not self.live_trace:
+        if len(self.live_trace) == 0:
+            if "mean_live" in self.extra:
+                return self.extra["mean_live"]
+            if self.cycles > 0:
+                raise MetricsUnavailable(
+                    f"{self.machine}: live trace was not sampled and "
+                    "extra['mean_live'] is absent; run with "
+                    "sample_traces=True or record the aggregate"
+                )
             return 0.0
-        return sum(self.live_trace) / len(self.live_trace)
+        return trace_total(self.live_trace) / len(self.live_trace)
 
     @property
     def mean_ipc(self) -> float:
@@ -55,12 +367,17 @@ class ExecutionResult:
 
 
 class MetricsRecorder:
-    """Incremental per-cycle sampler used by the engines."""
+    """Incremental per-cycle sampler used by the engines.
+
+    ``ipc_trace``/``live_trace`` are :class:`RLETrace` buffers; the
+    engines' inlined cycle loops may bind their ``append`` methods
+    directly (they are O(1) like ``list.append``).
+    """
 
     def __init__(self, sample_traces: bool = True):
         self.sample_traces = sample_traces
-        self.ipc_trace: List[int] = []
-        self.live_trace: List[int] = []
+        self.ipc_trace = RLETrace()
+        self.live_trace = RLETrace()
         self.instructions = 0
         self.cycles = 0
         self._peak_live = 0
@@ -81,7 +398,8 @@ class MetricsRecorder:
 
         Exactly equivalent to ``n_cycles`` calls of ``sample(0, live)``
         -- the engines use it to fast-forward memory stalls without
-        paying one Python iteration per idle cycle.
+        paying one Python iteration per idle cycle.  With RLE storage
+        this is O(1) regardless of ``n_cycles``.
         """
         if n_cycles <= 0:
             return
@@ -90,8 +408,8 @@ class MetricsRecorder:
             self._peak_live = live
         self._live_sum += live * n_cycles
         if self.sample_traces:
-            self.ipc_trace.extend([0] * n_cycles)
-            self.live_trace.extend([live] * n_cycles)
+            self.ipc_trace.append_run(0, n_cycles)
+            self.live_trace.append_run(live, n_cycles)
 
     def result(self, machine: str, completed: bool,
                results: Tuple[object, ...],

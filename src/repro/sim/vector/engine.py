@@ -14,36 +14,48 @@ paper's single-cycle methodology. Live state during a vector section
 is ``active_lanes x live-values-per-iteration`` -- the vector register
 footprint -- which is how data-parallel machines "choose as much
 parallelism as they want" while bounding state (paper Sec. II-C).
+
+Hot-path layout (see docs/ARCHITECTURE.md, "Simulator performance"):
+the same per-op dispatch-closure design as the tagged/queued/window
+engines, adapted to depth-first execution.  Each block is compiled
+once (:mod:`repro.sim.vector.plan`) so every value lives in a dense
+slot of a flat environment list; at engine construction each op gets
+a firing closure with its opcode dispatch, operand slots, immediates
+and memory accessors bound once.  A block activation is a
+``list(template)`` copy plus an argument splice followed by a plain
+loop over closures -- no per-op lambda allocation, no ``OP_INFO``
+probes, no tuple-keyed dict lookups.  Each block carries two closure
+tables: *ticked* steps (scalar execution, one metrics sample per op)
+and *silent* steps (vector-body evaluation, timing accounted in
+lock-step batches by the caller).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.ir.ops import OP_INFO, Op
-from repro.ir.program import (
-    BlockDef,
-    BlockKind,
-    ContextProgram,
-    IfRegion,
-    Lit,
-    LoopTerm,
-    Param,
-    Region,
-    Res,
-    ReturnTerm,
-    ValueRef,
-)
+from repro.ir.program import BlockKind, ContextProgram
 from repro.sim.latency import load_delay
 from repro.sim.memory import Memory
 from repro.sim.metrics import ExecutionResult, MetricsRecorder
 from repro.sim.vector.analysis import VectorInfo, classify_loop
+from repro.sim.vector.plan import (
+    VecBlockPlan,
+    VecIf,
+    VecOp,
+    build_vec_plans,
+)
 
 
 class DataParallelEngine:
-    """Vector/SIMT-style executor over the context IR."""
+    """Vector/SIMT-style executor over the context IR.
+
+    The engine binds ``memory`` and the compiled plans into per-op
+    closures at construction; neither may be swapped afterwards.
+    """
 
     def __init__(self, program: ContextProgram, memory: Memory,
                  lanes: int = 128, sample_traces: bool = True,
@@ -71,9 +83,22 @@ class DataParallelEngine:
         self.vectorized_trips = 0
         self.scalar_trips = 0
 
+        self.plans: Dict[str, VecBlockPlan] = build_vec_plans(program)
+        #: block name -> flat tuple of ticked step closures (scalar
+        #: execution: one metrics sample per op).
+        self._ticked: Dict[str, Tuple[Callable, ...]] = {}
+        #: block name -> silent step closures (vector bodies only).
+        self._silent: Dict[str, Tuple[Callable, ...]] = {}
+        for name, plan in self.plans.items():
+            self._ticked[name] = self._compile_items(
+                plan.items, ticked=True)
+            if self.vector_info.get(name) is not None:
+                self._silent[name] = self._compile_items(
+                    plan.items, ticked=False)
+
     # ------------------------------------------------------------------
     def run(self, args: List[object]) -> ExecutionResult:
-        entry = self.program.entry_block()
+        entry = self.plans[self.program.entry]
         if len(args) != entry.n_params:
             raise SimulationError(
                 f"entry takes {entry.n_params} args, got {len(args)}"
@@ -101,122 +126,239 @@ class DataParallelEngine:
                 f"exceeded max_cycles={self.max_cycles}"
             )
 
-    def _exec_block(self, block: BlockDef,
+    def _exec_block(self, plan: VecBlockPlan,
                     args: List[object]) -> List[object]:
+        steps = self._ticked[plan.name]
+        template = plan.template
+        n_params = plan.n_params
+        decider = plan.term_decider
+        result_slots = plan.term_results
+        next_slots = plan.term_next
         while True:
-            env: Dict[Tuple[int, int], object] = {}
-            self._exec_region(block, block.region, args, env)
-            term = block.terminator
-            if isinstance(term, ReturnTerm):
-                return [self._read(block, args, env, r)
-                        for r in term.results]
-            assert isinstance(term, LoopTerm)
-            if self._read(block, args, env, term.decider):
-                args = [self._read(block, args, env, r)
-                        for r in term.next_args]
-                continue
-            return [self._read(block, args, env, r)
-                    for r in term.results]
+            env = list(template)
+            env[:n_params] = args
+            for step in steps:
+                step(env)
+            if decider is None or not env[decider]:
+                return [env[s] for s in result_slots]
+            args = [env[s] for s in next_slots]
 
-    def _exec_region(self, block: BlockDef, region: Region,
-                     args: List[object],
-                     env: Dict[Tuple[int, int], object]) -> None:
-        for item in region.items:
-            if isinstance(item, IfRegion):
-                taken = self._read(block, args, env, item.decider)
-                side = item.then_region if taken else item.else_region
-                self._exec_region(block, side, args, env)
-            else:
-                self._exec_op(block, block.ops[item], args, env)
+    # ------------------------------------------------------------------
+    # Per-op step closures
+    # ------------------------------------------------------------------
+    def _compile_items(self, items: Tuple, ticked: bool
+                       ) -> Tuple[Callable, ...]:
+        return tuple(self._make_step(item, ticked) for item in items)
 
-    def _exec_op(self, block: BlockDef, op, args: List[object],
-                 env: Dict[Tuple[int, int], object]) -> None:
-        read = lambda r: self._read(block, args, env, r)  # noqa: E731
-        if op.op is Op.SPAWN:
-            callee = self.program.block(op.attrs["callee"])
-            call_args = [read(r) for r in op.inputs]
-            info = (self.vector_info.get(callee.name)
-                    if callee.kind is BlockKind.LOOP else None)
-            if info is not None:
-                results = self._exec_vector_loop(callee, info,
-                                                 call_args)
-            else:
-                if callee.kind is BlockKind.LOOP:
-                    self.scalar_trips += 1
-                results = self._exec_block(callee, call_args)
-            for port, value in enumerate(results):
-                env[(op.op_id, port)] = value
-            return
+    def _make_step(self, item, ticked: bool) -> Callable:
+        if isinstance(item, VecIf):
+            decider = item.decider_slot
+            then_steps = self._compile_items(item.then_items, ticked)
+            else_steps = self._compile_items(item.else_items, ticked)
 
-        # Scalar instruction: one cycle, one issue slot.
-        self._tick(1, self._scalar_live)
-        info = OP_INFO[op.op]
-        if info.pure:
-            env[(op.op_id, 0)] = info.evaluate(
-                *(read(r) for r in op.inputs)
-            )
-        elif op.op is Op.LOAD:
-            index = read(op.inputs[0])
-            env[(op.op_id, 0)] = self.memory.load(
-                op.attrs["array"], index
-            )
-            env[(op.op_id, 1)] = 0
-            for _ in range(load_delay(self.load_latency,
-                                      op.attrs["array"], index) - 1):
-                self._tick(0, self._scalar_live)
-        elif op.op is Op.STORE:
-            self.memory.store(op.attrs["array"], read(op.inputs[0]),
-                              read(op.inputs[1]))
-            env[(op.op_id, 0)] = 0
-        elif op.op is Op.STEER:
-            env[(op.op_id, 0)] = read(op.inputs[1])
-            env[(op.op_id, 1)] = 0
-        elif op.op is Op.MERGE:
-            taken = read(op.inputs[0])
-            env[(op.op_id, 0)] = read(
-                op.inputs[1] if taken else op.inputs[2]
-            )
-        else:
-            raise SimulationError(f"cannot execute {op.op.value}")
+            def step_if(env):
+                for step in (then_steps if env[decider]
+                             else else_steps):
+                    step(env)
+            return step_if
 
-    def _read(self, block: BlockDef, args: List[object],
-              env: Dict[Tuple[int, int], object],
-              ref: ValueRef) -> object:
-        if isinstance(ref, Lit):
-            return ref.value
-        if isinstance(ref, Param):
-            return args[ref.index]
-        value = env.get((ref.op_id, ref.port))
-        if value is None and (ref.op_id, ref.port) not in env:
-            raise SimulationError(
-                f"{block.name}: read of unevaluated {ref}"
-            )
-        return value
+        assert isinstance(item, VecOp)
+        op = item.op
+        ins = item.in_slots
+        outs = item.out_slots
+
+        if op is Op.SPAWN:
+            return self._make_spawn_step(item, ticked)
+
+        tick = self._tick
+        live = self._scalar_live
+
+        if op is Op.LOAD:
+            array = item.attrs["array"]
+            mem_load = self.memory.load
+            a0 = ins[0]
+            o0, o1 = outs[0], outs[1]
+            if ticked:
+                latency = self.load_latency
+                if latency <= 1:
+                    def step_load_fast(env):
+                        tick(1, live)
+                        env[o0] = mem_load(array, env[a0])
+                        env[o1] = 0
+                    return step_load_fast
+
+                def step_load(env):
+                    tick(1, live)
+                    index = env[a0]
+                    env[o0] = mem_load(array, index)
+                    env[o1] = 0
+                    for _ in range(load_delay(latency, array,
+                                              index) - 1):
+                        tick(0, live)
+                return step_load
+
+            def step_load_silent(env):
+                env[o0] = mem_load(array, env[a0])
+                env[o1] = 0
+            return step_load_silent
+
+        if op is Op.STORE:
+            array = item.attrs["array"]
+            mem_store = self.memory.store
+            a0, a1 = ins[0], ins[1]
+            o0 = outs[0]
+            if ticked:
+                def step_store(env):
+                    tick(1, live)
+                    mem_store(array, env[a0], env[a1])
+                    env[o0] = 0
+                return step_store
+
+            def step_store_silent(env):
+                mem_store(array, env[a0], env[a1])
+                env[o0] = 0
+            return step_store_silent
+
+        if op is Op.STEER:
+            # Depth-first execution resolves control through the region
+            # tree, so STEER is a pass-through of its value operand.
+            a1 = ins[1]
+            o0, o1 = outs[0], outs[1]
+            if ticked:
+                def step_steer(env):
+                    tick(1, live)
+                    env[o0] = env[a1]
+                    env[o1] = 0
+                return step_steer
+
+            def step_steer_silent(env):
+                env[o0] = env[a1]
+                env[o1] = 0
+            return step_steer_silent
+
+        if op is Op.MERGE:
+            a0, a1, a2 = ins[0], ins[1], ins[2]
+            o0 = outs[0]
+            if ticked:
+                def step_merge(env):
+                    tick(1, live)
+                    env[o0] = env[a1] if env[a0] else env[a2]
+                return step_merge
+
+            def step_merge_silent(env):
+                env[o0] = env[a1] if env[a0] else env[a2]
+            return step_merge_silent
+
+        info = OP_INFO[op]
+        if not info.pure:
+            op_name = op.value
+            where = "" if ticked else " in a vector body"
+
+            def step_illegal(env):
+                raise SimulationError(
+                    f"cannot execute {op_name}{where}")
+            return step_illegal
+
+        # Pure arithmetic/logic: specialize the common arities.
+        ev = info.evaluate
+        o0 = outs[0]
+        if len(ins) == 2:
+            a0, a1 = ins[0], ins[1]
+            if ticked:
+                def step_pure2(env):
+                    tick(1, live)
+                    env[o0] = ev(env[a0], env[a1])
+                return step_pure2
+
+            def step_pure2_silent(env):
+                env[o0] = ev(env[a0], env[a1])
+            return step_pure2_silent
+        if len(ins) == 1:
+            a0 = ins[0]
+            if ticked:
+                def step_pure1(env):
+                    tick(1, live)
+                    env[o0] = ev(env[a0])
+                return step_pure1
+
+            def step_pure1_silent(env):
+                env[o0] = ev(env[a0])
+            return step_pure1_silent
+
+        if ticked:
+            def step_pure(env):
+                tick(1, live)
+                env[o0] = ev(*[env[s] for s in ins])
+            return step_pure
+
+        def step_pure_silent(env):
+            env[o0] = ev(*[env[s] for s in ins])
+        return step_pure_silent
+
+    def _make_spawn_step(self, item: VecOp, ticked: bool) -> Callable:
+        if not ticked:
+            # classify_loop rejects loops containing transfer points,
+            # so a spawn can never appear in a vector body.
+            def step_spawn_illegal(env):
+                raise SimulationError(
+                    "cannot execute spawn in a vector body")
+            return step_spawn_illegal
+
+        callee_name = item.attrs["callee"]
+        callee_plan = self.plans[callee_name]
+        callee_kind = self.program.block(callee_name).kind
+        info = (self.vector_info.get(callee_name)
+                if callee_kind is BlockKind.LOOP else None)
+        ins = item.in_slots
+        outs = item.out_slots
+
+        if info is not None:
+            exec_vector = self._exec_vector_loop
+
+            def step_spawn_vector(env):
+                results = exec_vector(callee_plan, info,
+                                      [env[s] for s in ins])
+                for slot, value in zip(outs, results):
+                    env[slot] = value
+            return step_spawn_vector
+
+        exec_block = self._exec_block
+        count_trip = callee_kind is BlockKind.LOOP
+
+        def step_spawn(env):
+            if count_trip:
+                self.scalar_trips += 1
+            results = exec_block(callee_plan, [env[s] for s in ins])
+            for slot, value in zip(outs, results):
+                env[slot] = value
+        return step_spawn
 
     # ------------------------------------------------------------------
     # Vectorized loop execution
     # ------------------------------------------------------------------
-    def _exec_vector_loop(self, block: BlockDef, info: VectorInfo,
+    def _exec_vector_loop(self, plan: VecBlockPlan, info: VectorInfo,
                           args: List[object]) -> List[object]:
         """Run all iterations semantically; account cycles in lock-step
         batches of ``lanes`` iterations."""
         self.vectorized_trips += 1
-        term = block.terminator
-        assert isinstance(term, LoopTerm)
+        steps = self._silent[plan.name]
+        template = plan.template
+        n_params = plan.n_params
+        decider = plan.term_decider
+        next_slots = plan.term_next
         iterations = 0
         cur = list(args)
         # Execute exactly (semantics identical to the scalar loop).
-        values_snapshots: List[List[object]] = []
         while True:
-            env: Dict[Tuple[int, int], object] = {}
-            self._exec_region_silent(block, block.region, cur, env)
+            env = list(template)
+            env[:n_params] = cur
+            for step in steps:
+                step(env)
             iterations += 1
-            if self._read(block, cur, env, term.decider):
-                cur = [self._read(block, cur, env, r)
-                       for r in term.next_args]
+            if env[decider]:
+                cur = [env[s] for s in next_slots]
                 continue
-            results = [self._read(block, cur, env, r)
-                       for r in term.results]
+            results = [env[s] for s in plan.term_results]
             break
 
         # Timing model: each batch of `lanes` iterations issues the
@@ -239,44 +381,3 @@ class DataParallelEngine:
                 self._tick(min(iterations, self.lanes) // 2 or 1,
                            min(iterations, self.lanes))
         return results
-
-    def _exec_region_silent(self, block: BlockDef, region: Region,
-                            args: List[object],
-                            env: Dict[Tuple[int, int], object]) -> None:
-        """Evaluate a vector-body region without per-op ticks (timing
-        is accounted in batches by the caller)."""
-        for item in region.items:
-            if isinstance(item, IfRegion):
-                taken = self._read(block, args, env, item.decider)
-                side = item.then_region if taken else item.else_region
-                self._exec_region_silent(block, side, args, env)
-                continue
-            op = block.ops[item]
-            read = lambda r: self._read(block, args, env, r)  # noqa
-            info = OP_INFO[op.op]
-            if info.pure:
-                env[(op.op_id, 0)] = info.evaluate(
-                    *(read(r) for r in op.inputs)
-                )
-            elif op.op is Op.LOAD:
-                env[(op.op_id, 0)] = self.memory.load(
-                    op.attrs["array"], read(op.inputs[0])
-                )
-                env[(op.op_id, 1)] = 0
-            elif op.op is Op.STORE:
-                self.memory.store(op.attrs["array"],
-                                  read(op.inputs[0]),
-                                  read(op.inputs[1]))
-                env[(op.op_id, 0)] = 0
-            elif op.op is Op.STEER:
-                env[(op.op_id, 0)] = read(op.inputs[1])
-                env[(op.op_id, 1)] = 0
-            elif op.op is Op.MERGE:
-                taken = read(op.inputs[0])
-                env[(op.op_id, 0)] = read(
-                    op.inputs[1] if taken else op.inputs[2]
-                )
-            else:
-                raise SimulationError(
-                    f"cannot execute {op.op.value} in a vector body"
-                )

@@ -1,0 +1,173 @@
+"""Slot-indexed execution plans for the data-parallel engine.
+
+The seed engine interpreted :class:`~repro.ir.program.BlockDef`
+structures directly: every operand read went through an
+``isinstance`` dispatch on the :class:`ValueRef` union and a dict
+probe keyed by ``(op_id, port)`` tuples, and every op paid an
+``OP_INFO`` lookup plus a fresh ``lambda`` allocation.  This module
+compiles each block once into a :class:`VecBlockPlan` where **every
+value lives in a dense slot of a flat environment list**:
+
+* slots ``0 .. n_params-1`` hold the block's arguments;
+* each op output port gets its own slot, assigned in op order;
+* literals are deduplicated into trailing constant slots, pre-placed
+  in :attr:`VecBlockPlan.template` -- a block activation is one
+  ``list.copy()`` plus an argument splice, after which *every* operand
+  read is a single ``env[slot]`` index.
+
+The engine (:mod:`repro.sim.vector.engine`) binds these plans into
+per-op firing closures at construction, mirroring the dispatch-closure
+design of the tagged/queued/window engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import SimulationError
+from repro.ir.program import (
+    BlockDef,
+    BlockKind,
+    ContextProgram,
+    IfRegion,
+    Lit,
+    LoopTerm,
+    OpDef,
+    Param,
+    Region,
+    Res,
+    ReturnTerm,
+    ValueRef,
+)
+
+
+@dataclass(frozen=True)
+class VecOp:
+    """One op with all operands and outputs resolved to env slots."""
+
+    op_id: int
+    op: object  # repro.ir.ops.Op
+    in_slots: Tuple[int, ...]
+    out_slots: Tuple[int, ...]
+    attrs: Dict[str, object]
+
+
+#: Region tree items: a compiled op, or a two-sided branch carrying
+#: the decider's slot and the compiled sub-regions.
+VecItem = Union[VecOp, "VecIf"]
+
+
+@dataclass(frozen=True)
+class VecIf:
+    decider_slot: int
+    then_items: Tuple[VecItem, ...]
+    else_items: Tuple[VecItem, ...]
+
+
+@dataclass(frozen=True)
+class VecBlockPlan:
+    """A block compiled to slot-indexed form."""
+
+    name: str
+    kind: BlockKind
+    n_params: int
+    #: Environment template: literals pre-placed in trailing constant
+    #: slots, everything else ``None``.  An activation copies this and
+    #: splices its arguments into the leading param slots.
+    template: Tuple[object, ...]
+    items: Tuple[VecItem, ...]
+    #: ``None`` for DAG blocks; the loop decider's slot otherwise.
+    term_decider: Optional[int]
+    term_next: Tuple[int, ...]
+    term_results: Tuple[int, ...]
+
+
+class _SlotAllocator:
+    def __init__(self, block: BlockDef):
+        self.block = block
+        self.n_params = block.n_params
+        self.res_slots: Dict[Tuple[int, int], int] = {}
+        next_slot = block.n_params
+        for op in block.ops:
+            for port in range(op.n_outputs):
+                self.res_slots[(op.op_id, port)] = next_slot
+                next_slot += 1
+        self.lit_slots: Dict[Tuple[type, object], int] = {}
+        self.lit_values: List[object] = []
+        self.first_lit = next_slot
+
+    def slot(self, ref: ValueRef) -> int:
+        if isinstance(ref, Param):
+            return ref.index
+        if isinstance(ref, Res):
+            return self.res_slots[(ref.op_id, ref.port)]
+        if isinstance(ref, Lit):
+            key = (type(ref.value), ref.value)
+            slot = self.lit_slots.get(key)
+            if slot is None:
+                slot = self.first_lit + len(self.lit_values)
+                self.lit_slots[key] = slot
+                self.lit_values.append(ref.value)
+            return slot
+        raise SimulationError(f"unknown value ref {ref!r}")
+
+
+def _compile_region(alloc: _SlotAllocator, region: Region
+                    ) -> Tuple[VecItem, ...]:
+    items: List[VecItem] = []
+    block = alloc.block
+    for item in region.items:
+        if isinstance(item, IfRegion):
+            items.append(VecIf(
+                decider_slot=alloc.slot(item.decider),
+                then_items=_compile_region(alloc, item.then_region),
+                else_items=_compile_region(alloc, item.else_region),
+            ))
+        else:
+            op = block.ops[item]
+            items.append(VecOp(
+                op_id=op.op_id,
+                op=op.op,
+                in_slots=tuple(alloc.slot(r) for r in op.inputs),
+                out_slots=tuple(
+                    alloc.res_slots[(op.op_id, port)]
+                    for port in range(op.n_outputs)
+                ),
+                attrs=op.attrs,
+            ))
+    return tuple(items)
+
+
+def build_vec_plan(block: BlockDef) -> VecBlockPlan:
+    """Compile one block to slot-indexed form."""
+    alloc = _SlotAllocator(block)
+    items = _compile_region(alloc, block.region)
+    term = block.terminator
+    if isinstance(term, ReturnTerm):
+        decider = None
+        next_slots: Tuple[int, ...] = ()
+        result_slots = tuple(alloc.slot(r) for r in term.results)
+    else:
+        assert isinstance(term, LoopTerm)
+        decider = alloc.slot(term.decider)
+        next_slots = tuple(alloc.slot(r) for r in term.next_args)
+        result_slots = tuple(alloc.slot(r) for r in term.results)
+    template = ([None] * alloc.first_lit) + alloc.lit_values
+    return VecBlockPlan(
+        name=block.name,
+        kind=block.kind,
+        n_params=block.n_params,
+        template=tuple(template),
+        items=items,
+        term_decider=decider,
+        term_next=next_slots,
+        term_results=result_slots,
+    )
+
+
+def build_vec_plans(program: ContextProgram
+                    ) -> Dict[str, VecBlockPlan]:
+    """Compile every block of ``program``."""
+    return {name: build_vec_plan(block)
+            for name, block in program.blocks.items()}

@@ -1,0 +1,63 @@
+"""Unit tests for the throughput benchmark's baseline selection.
+
+The benchmark compares against the *newest* earlier record; "newest"
+must follow the ``date`` field stamped inside each record, not file
+mtime -- a fresh checkout gives every record the same mtime, and
+re-saving an old record must not promote it over a newer one.
+"""
+
+import json
+import os
+import time
+
+from repro.bench import _latest_baseline, _record_date
+
+
+def _write(path: str, date: str) -> None:
+    with open(path, "w") as fh:
+        json.dump({"date": date, "cases": {}}, fh)
+
+
+def _touch_later(path: str, seconds: float = 100.0) -> None:
+    later = time.time() + seconds
+    os.utime(path, (later, later))
+
+
+def test_latest_baseline_orders_by_record_date(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    _write("BENCH_old.json", "2026-01-05T10:00:00")
+    _write("BENCH_new.json", "2026-03-01T10:00:00")
+    # Touch the *old* record last: mtime alone would pick it.
+    _touch_later("BENCH_old.json")
+    assert _latest_baseline("BENCH_out.json") == "BENCH_new.json"
+
+
+def test_latest_baseline_mtime_breaks_date_ties(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    _write("BENCH_a.json", "2026-01-05T10:00:00")
+    _write("BENCH_b.json", "2026-01-05T10:00:00")
+    _touch_later("BENCH_a.json")
+    assert _latest_baseline("BENCH_out.json") == "BENCH_a.json"
+
+
+def test_latest_baseline_excludes_output_file(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    _write("BENCH_a.json", "2026-01-05T10:00:00")
+    _write("BENCH_b.json", "2026-02-05T10:00:00")
+    assert _latest_baseline("BENCH_b.json") == "BENCH_a.json"
+    assert _latest_baseline("nope.json") == "BENCH_b.json"
+
+
+def test_latest_baseline_none_without_records(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert _latest_baseline("BENCH_out.json") is None
+
+
+def test_unreadable_record_sorts_last(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    with open("BENCH_bad.json", "w") as fh:
+        fh.write("not json")
+    _write("BENCH_good.json", "2020-01-01T00:00:00")
+    _touch_later("BENCH_bad.json")
+    assert _record_date("BENCH_bad.json") == ""
+    assert _latest_baseline("BENCH_out.json") == "BENCH_good.json"

@@ -3,15 +3,17 @@
 import pytest
 
 from repro.errors import DeadlockError, SimulationError
-from repro.harness.cache import ResultCache
+from repro.harness.cache import CompileCache, ResultCache, plan_key
 from repro.harness.pool import (
     RunSpec,
     cache_key,
     canonical_config,
+    precompile_specs,
     run_batch,
     run_one,
     run_specs,
     spec_for,
+    workload_for,
 )
 from repro.harness.sweep import sweep_tags
 from repro.sim.metrics import ExecutionResult
@@ -114,6 +116,64 @@ def test_corrupt_entry_is_a_miss(tmp_path):
         fh.write(b"not a pickle")
     assert _same_result(run_specs([spec], cache=cache)[0],
                         run_one(spec))
+
+
+def test_plan_key_sensitivity():
+    assert plan_key("abc", "tagged") == plan_key("abc", "tagged")
+    assert plan_key("abc", "tagged") != plan_key("abc", "flat")
+    assert plan_key("abc", "tagged") != plan_key("abd", "tagged")
+
+
+def test_compile_cache_round_trips_lowerings(tmp_path):
+    """A second workload with the same program reuses stored
+    lowerings, and runs on them bit-identically."""
+    plans = CompileCache(str(tmp_path))
+    first = build_workload("dmv", "tiny").compiled
+    first.plan_cache = plans
+    first.tagged, first.flat  # noqa: B018 -- populate the store
+    assert (plans.hits, plans.misses) == (0, 2)
+
+    second = build_workload("dmv", "tiny").compiled
+    second.plan_cache = plans
+    second.tagged, second.flat  # noqa: B018 -- now served from disk
+    assert (plans.hits, plans.misses) == (2, 2)
+
+    wl = build_workload("dmv", "tiny")
+    direct = wl.run_checked("tyr", tags=4)
+    wl_cached = build_workload("dmv", "tiny")
+    wl_cached.compiled.plan_cache = plans
+    cached = wl_cached.run_checked("tyr", tags=4)
+    assert _same_result(direct, cached)
+
+
+def test_precompile_materializes_machine_artifacts(tmp_path):
+    wl = build_workload("dmv", "tiny")
+    specs = [spec_for(wl, "tyr", {"tags": 4}),
+             spec_for(wl, "ordered", {}),
+             spec_for(wl, "vn", {})]
+    plans = CompileCache(str(tmp_path))
+    precompile_specs(specs, plans)
+    # spec_for memoizes by identity key, so read artifacts off the
+    # instance precompile actually touched.
+    compiled = workload_for(specs[0]).compiled
+    assert compiled._tagged is not None
+    assert compiled._flat is not None
+    assert plans.get_plan(compiled.fingerprint, "tagged") is not None
+    assert plans.get_plan(compiled.fingerprint, "flat") is not None
+
+
+def test_result_cache_root_hosts_plan_store(tmp_path):
+    """run_specs with a result cache persists lowerings under
+    <root>/plans without being asked."""
+    import os
+
+    cache = ResultCache(str(tmp_path))
+    wl = build_workload("dmv", "tiny")
+    run_specs([spec_for(wl, "tyr", {"tags": 4})], cache=cache)
+    plans_root = os.path.join(cache.root, "plans")
+    assert os.path.isdir(plans_root)
+    assert CompileCache(plans_root).get_plan(
+        wl.compiled.fingerprint, "tagged") is not None
 
 
 def test_failures_carry_run_context():

@@ -1,7 +1,7 @@
 """Regression corpus: random-program seeds that exposed real bugs.
 
 Each of these seeds crashed or deadlocked some stage during
-development (see docs/ARCHITECTURE.md section 4 for the bug classes):
+development (see docs/ARCHITECTURE.md section 7 for the bug classes):
 barrier starvation on loop-terminator sides, shared destination-list
 aliasing across call sites, conditional steer outputs attached to
 barriers, orphaned allocate waiters, dead loop blocks, conditionally

@@ -28,16 +28,32 @@ from repro.harness.runner import run_program
 from repro.sim.latency import load_delay
 from repro.sim.memory import Memory
 
-from tests.sim.capture_golden_engine_metrics import OUT, capture
+from tests.sim.capture_golden_engine_metrics import (
+    OUT,
+    capture,
+    capture_large,
+    large_keys,
+)
 
 with open(OUT) as _fh:
     GOLDEN = json.load(_fh)
 
+#: ``large``-scale records replay in seconds, not milliseconds, so
+#: they are opt-in locally (``-m "not slow"`` is the default) and
+#: exercised in CI.
+_LARGE = large_keys()
+
 
 @pytest.fixture(scope="module")
 def fresh_metrics():
-    """One replay of every golden run with the current engines."""
-    return capture()
+    """One replay of every fast golden run with the current engines."""
+    return capture(include_large=False)
+
+
+@pytest.fixture(scope="module")
+def fresh_large_metrics():
+    """One replay of the ``large``-scale golden runs (slow tests)."""
+    return capture_large()
 
 
 def test_golden_file_covers_every_registered_workload():
@@ -47,14 +63,27 @@ def test_golden_file_covers_every_registered_workload():
     assert covered == set(WORKLOAD_NAMES + EXTRA_WORKLOADS)
 
 
-@pytest.mark.parametrize("key", sorted(GOLDEN))
+def test_golden_file_pins_large_scale_runs():
+    assert _LARGE <= set(GOLDEN)
+
+
+@pytest.mark.parametrize("key", sorted(set(GOLDEN) - _LARGE))
 def test_metrics_identical_to_golden(key, fresh_metrics):
     assert key in fresh_metrics, f"golden run {key} no longer replayed"
     assert fresh_metrics[key] == GOLDEN[key]
 
 
+@pytest.mark.slow
+@pytest.mark.parametrize("key", sorted(_LARGE))
+def test_large_scale_metrics_identical_to_golden(key,
+                                                 fresh_large_metrics):
+    assert key in fresh_large_metrics, \
+        f"golden run {key} no longer replayed"
+    assert fresh_large_metrics[key] == GOLDEN[key]
+
+
 def test_no_unpinned_runs(fresh_metrics):
-    assert set(fresh_metrics) == set(GOLDEN)
+    assert set(fresh_metrics) | _LARGE == set(GOLDEN)
 
 
 # ---------------------------------------------------------------------------

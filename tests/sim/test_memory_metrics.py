@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import MemoryError_
+from repro.errors import MemoryError_, MetricsUnavailable
 from repro.sim.memory import Memory
 from repro.sim.metrics import ExecutionResult, MetricsRecorder
 
@@ -77,3 +77,19 @@ def test_empty_result_defaults():
     assert res.mean_live == 0.0
     assert res.mean_ipc == 0.0
     assert "DEADLOCK" in res.summary()
+
+
+def test_unsampled_live_metrics_raise():
+    """A hand-built result with cycles but neither traces nor extra
+    fallbacks must refuse to report live state, not claim zero."""
+    res = ExecutionResult("m", True, 10, 10, (), [], [])
+    with pytest.raises(MetricsUnavailable):
+        res.peak_live
+    with pytest.raises(MetricsUnavailable):
+        res.mean_live
+    # The extra-field fallbacks (what engines record when trace
+    # sampling is off) restore availability.
+    res.extra["peak_live"] = 7
+    res.extra["mean_live"] = 3.5
+    assert res.peak_live == 7
+    assert res.mean_live == 3.5
