@@ -18,6 +18,7 @@ from typing import List, Optional
 from repro.errors import DeadlockError, ReproError
 from repro.harness.cache import ResultCache
 from repro.harness.experiments import EXPERIMENTS, get_experiment
+from repro.harness.pool import RunOptions
 from repro.harness.runner import MACHINES
 from repro.workloads import WORKLOAD_NAMES, build_workload, paper_parameters
 from repro.workloads.registry import EXTRA_WORKLOADS, SCALES
@@ -64,10 +65,13 @@ def _cmd_experiment(args) -> int:
     else:
         names = [args.name]
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    options = RunOptions(timeout=args.timeout, retries=args.retries,
+                         run_log=args.run_log, progress=args.progress)
     for name in names:
         start = time.time()
         report = get_experiment(name)(scale=args.scale,
-                                      jobs=args.jobs, cache=cache)
+                                      jobs=args.jobs, cache=cache,
+                                      options=options)
         print(report)
         print(f"[{name} regenerated in {time.time() - start:.1f}s]\n")
     if cache is not None:
@@ -157,6 +161,22 @@ def build_parser() -> argparse.ArgumentParser:
     exp_p.add_argument("--cache-dir", default=None,
                        help="cache directory (default $REPRO_CACHE_DIR "
                             "or .repro-cache)")
+    exp_p.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-run wall-clock timeout; a run past it "
+                            "fails with RunTimeoutError naming its "
+                            "spec instead of stalling the sweep")
+    exp_p.add_argument("--retries", type=int, default=1,
+                       metavar="N",
+                       help="redispatches allowed for a run whose "
+                            "worker died mid-run (default 1)")
+    exp_p.add_argument("--run-log", default=None, metavar="FILE",
+                       help="append one JSON event per spec "
+                            "(queued/cache-hit/started/finished/"
+                            "retried/timed-out) to FILE")
+    exp_p.add_argument("--progress", action="store_true",
+                       help="live done/total, cache-hit rate, and ETA "
+                            "line on stderr")
 
     ins_p = sub.add_parser(
         "inspect", help="show a workload's concurrent blocks"

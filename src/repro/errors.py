@@ -43,6 +43,43 @@ class DeadlockError(SimulationError):
         super().__init__(message)
         self.diagnosis = diagnosis
 
+    def __reduce__(self):
+        # The default Exception reduction only replays ``args`` (the
+        # message), so ``diagnosis`` would vanish whenever the error
+        # crosses a process boundary (pool workers -> parent).
+        message = self.args[0] if self.args else ""
+        return (type(self), (message, self.diagnosis))
+
+
+class RunTimeoutError(ReproError):
+    """A pooled run exceeded its *wall-clock* timeout.
+
+    Raised by the parent of :func:`repro.harness.pool.run_specs` after
+    terminating the worker, so one hung or pathologically slow run
+    fails loudly (naming its spec) instead of stalling the whole
+    sweep. Distinct from the simulated ``max_cycles`` bound, which
+    limits machine cycles, not host seconds.
+    """
+
+
+class WorkerCrashError(ReproError):
+    """A pool worker died (OOM kill, segfault, hard exit) while
+    executing a run, and the bounded redispatch budget was exhausted.
+
+    The message carries the failing spec's workload/machine/config and
+    the worker's exit code.
+    """
+
+
+class UnexpectedRunError(ReproError):
+    """A non-:class:`ReproError` exception escaped a pooled run.
+
+    Wraps the original error (type, message, and formatted traceback)
+    together with the failing spec's context, so e.g. a numpy oracle
+    check failure surfaces in the parent naming the workload, machine,
+    and configuration that triggered it.
+    """
+
 
 class TokenBoundExceeded(SimulationError):
     """Live-token count exceeded the Theorem 2 bound ``T * N * M``."""

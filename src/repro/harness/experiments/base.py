@@ -1,4 +1,22 @@
-"""Shared infrastructure for experiment drivers."""
+"""Shared infrastructure for experiment drivers.
+
+Every registered driver is a callable ``run(scale=..., **kwargs)``
+returning an :class:`ExperimentReport`. Drivers that simulate accept
+the uniform harness kwargs and thread them into
+:func:`repro.harness.pool.run_batch` / the sweep helpers:
+
+``jobs``
+    worker-pool fan-out (results stay order-stable and byte-identical
+    to a serial run);
+``cache``
+    a :class:`~repro.harness.cache.ResultCache`; finished runs are
+    written back incrementally, so interrupted experiments resume;
+``options``
+    a :class:`~repro.harness.pool.RunOptions` carrying the per-run
+    wall-clock timeout, crash-retry budget, JSON-lines run log, and
+    live progress line (CLI: ``experiment --timeout/--retries/
+    --run-log/--progress``).
+"""
 
 from __future__ import annotations
 

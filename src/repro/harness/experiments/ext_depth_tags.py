@@ -54,7 +54,8 @@ def depth_overrides(program: ContextProgram,
 
 @register("ext-depth")
 def run(scale: str = "default", workload: str = "dconv",
-        jobs: int = 1, cache=None, **kwargs) -> ExperimentReport:
+        jobs: int = 1, cache=None, options=None,
+        **kwargs) -> ExperimentReport:
     wl = build_workload(workload, scale)
     program = wl.compiled.program
     depths = loop_depths(program)
@@ -73,7 +74,7 @@ def run(scale: str = "default", workload: str = "dconv",
                       "tag_overrides": depth_overrides(program, budgets),
                       "sample_traces": False})
          for budgets in configs.values()],
-        jobs=jobs, cache=cache,
+        jobs=jobs, cache=cache, options=options,
     )
     rows = []
     data = {}

@@ -21,13 +21,13 @@ from repro.workloads import build_workload
 @register("ext-latency")
 def run(scale: str = "default", workload: str = "tc",
         latencies=(1, 4, 16, 32), jobs: int = 1, cache=None,
-        **kwargs) -> ExperimentReport:
+        options=None, **kwargs) -> ExperimentReport:
     wl = build_workload(workload, scale)
     flat = iter(run_batch(
         [(wl, machine, {"load_latency": latency,
                         "sample_traces": False})
          for machine in PAPER_SYSTEMS for latency in latencies],
-        jobs=jobs, cache=cache,
+        jobs=jobs, cache=cache, options=options,
     ))
     cycles = {machine: {latency: next(flat).cycles
                         for latency in latencies}

@@ -30,7 +30,7 @@ def _static_store_bound(graph, block: str, tags: int) -> int:
 @register("ext-store")
 def run(scale: str = "default", workload: str = "dconv",
         tags: int = 64, jobs: int = 1, cache=None,
-        **kwargs) -> ExperimentReport:
+        options=None, **kwargs) -> ExperimentReport:
     wl = build_workload(workload, scale)
     unordered, tyr = run_batch(
         [
@@ -39,7 +39,7 @@ def run(scale: str = "default", workload: str = "dconv",
             (wl, "tyr", {"tags": tags, "track_occupancy": True,
                          "sample_traces": False}),
         ],
-        jobs=jobs, cache=cache,
+        jobs=jobs, cache=cache, options=options,
     )
 
     u_occ = unordered.extra["peak_store_occupancy"]

@@ -20,10 +20,11 @@ from repro.workloads import build_workload
 @register("fig02")
 def run(scale: str = "default", workload: str = "spmspm",
         tags: int = 64, jobs: int = 1, cache=None,
-        **kwargs) -> ExperimentReport:
+        options=None, **kwargs) -> ExperimentReport:
     wl = build_workload(workload, scale)
     results = run_machines(wl, PAPER_SYSTEMS, tags=tags,
-                           jobs=jobs, cache=cache)
+                           jobs=jobs, cache=cache,
+                           options=options)
     traces = {}
     summary_rows = []
     for machine in PAPER_SYSTEMS:

@@ -24,9 +24,11 @@ MACHINES = tuple(PAPER_SYSTEMS) + ("datapar",)
 
 @register("fig05")
 def run(scale: str = "small", workload: str = "dmv",
-        jobs: int = 1, cache=None, **kwargs) -> ExperimentReport:
+        jobs: int = 1, cache=None, options=None,
+        **kwargs) -> ExperimentReport:
     wl = build_workload(workload, scale)
-    results = run_machines(wl, MACHINES, jobs=jobs, cache=cache)
+    results = run_machines(wl, MACHINES, jobs=jobs, cache=cache,
+                           options=options)
     profiles = {}
     rows = []
     for machine in MACHINES:

@@ -17,12 +17,12 @@ from repro.workloads import build_workload
 @register("fig09")
 def run(scale: str = "default", workload: str = "dmv",
         tag_counts=(2, 8, 64), jobs: int = 1, cache=None,
-        **kwargs) -> ExperimentReport:
+        options=None, **kwargs) -> ExperimentReport:
     wl = build_workload(workload, scale)
     results = run_batch(
         [(wl, "tyr", {"tags": tags}) for tags in tag_counts]
         + [(wl, "unordered", {})],
-        jobs=jobs, cache=cache,
+        jobs=jobs, cache=cache, options=options,
     )
     swept = dict(zip(tag_counts, results))
     unordered = results[-1]

@@ -19,7 +19,7 @@ from repro.workloads import build_workload
 @register("fig11")
 def run(scale: str = "small", workload: str = "dmv", total_tags: int = 8,
         sizes=(8, 16, 32, 48), jobs: int = 1, cache=None,
-        **kwargs) -> ExperimentReport:
+        options=None, **kwargs) -> ExperimentReport:
     wl = build_workload(workload, scale)
     # Run directly (not via the pool) so the deadlock diagnosis object
     # survives -- it does not cross process boundaries.
@@ -35,7 +35,7 @@ def run(scale: str = "small", workload: str = "dmv", total_tags: int = 8,
 
     # TYR with the same per-block budget completes.
     tyr = run_machines(wl, ("tyr",), tags=total_tags,
-                       cache=cache)["tyr"]
+                       cache=cache, options=options)["tyr"]
 
     # How many global tags dmv needs as input size grows.
     growth_rows = []
@@ -43,7 +43,7 @@ def run(scale: str = "small", workload: str = "dmv", total_tags: int = 8,
         small = build_workload(workload, "tiny", n=n)
         outcome = min_global_tags_to_complete(
             small, [4, 8, 16, 24, 32, 48, 64, 96, 128, 256, 512],
-            jobs=jobs, cache=cache,
+            jobs=jobs, cache=cache, options=options,
         )
         needed = next((t for t, ok in sorted(outcome.items()) if ok),
                       None)

@@ -20,14 +20,15 @@ from repro.workloads import WORKLOAD_NAMES, build_workload
 
 def collect(scale: str, tags: int = 64, sample_traces: bool = True,
             apps=WORKLOAD_NAMES, jobs: int = 1,
-            cache=None) -> Dict[str, Dict[str, ExecutionResult]]:
+            cache=None, options=None
+            ) -> Dict[str, Dict[str, ExecutionResult]]:
     """Run every app on every paper system (oracle-checked)."""
     workloads = {app: build_workload(app, scale) for app in apps}
     config = {"tags": tags, "sample_traces": sample_traces}
     flat = iter(run_batch(
         [(workloads[app], machine, config)
          for app in apps for machine in PAPER_SYSTEMS],
-        jobs=jobs, cache=cache,
+        jobs=jobs, cache=cache, options=options,
     ))
     return {app: {machine: next(flat) for machine in PAPER_SYSTEMS}
             for app in apps}
@@ -36,9 +37,11 @@ def collect(scale: str, tags: int = 64, sample_traces: bool = True,
 @register("fig12")
 def run(scale: str = "default", tags: int = 64,
         results: Dict[str, Dict[str, ExecutionResult]] = None,
-        jobs: int = 1, cache=None, **kwargs) -> ExperimentReport:
+        jobs: int = 1, cache=None, options=None,
+        **kwargs) -> ExperimentReport:
     results = results or collect(scale, tags, sample_traces=False,
-                                 jobs=jobs, cache=cache)
+                                 jobs=jobs, cache=cache,
+                                 options=options)
     cycles = {app: {m: r.cycles for m, r in per.items()}
               for app, per in results.items()}
     speedups = speedup_vs(results, reference="tyr")

@@ -28,13 +28,14 @@ from repro.workloads import WORKLOAD_NAMES, build_workload
 
 @register("fig13")
 def run(scale: str = "default", tags: int = 64, apps=WORKLOAD_NAMES,
-        jobs: int = 1, cache=None, **kwargs) -> ExperimentReport:
+        jobs: int = 1, cache=None, options=None,
+        **kwargs) -> ExperimentReport:
     combined = {m: [] for m in PAPER_SYSTEMS}
     workloads = {app: build_workload(app, scale) for app in apps}
     flat = iter(run_batch(
         [(workloads[app], machine, {"tags": tags})
          for app in apps for machine in PAPER_SYSTEMS],
-        jobs=jobs, cache=cache,
+        jobs=jobs, cache=cache, options=options,
     ))
     for app in apps:
         for machine in PAPER_SYSTEMS:

@@ -21,8 +21,10 @@ from repro.sim.metrics import ExecutionResult
 @register("fig14")
 def run(scale: str = "default", tags: int = 64,
         results: Dict[str, Dict[str, ExecutionResult]] = None,
-        jobs: int = 1, cache=None, **kwargs) -> ExperimentReport:
-    results = results or collect(scale, tags, jobs=jobs, cache=cache)
+        jobs: int = 1, cache=None, options=None,
+        **kwargs) -> ExperimentReport:
+    results = results or collect(scale, tags, jobs=jobs, cache=cache,
+                                 options=options)
     peak = {app: {m: r.peak_live for m, r in per.items()}
             for app, per in results.items()}
     mean = {app: {m: round(r.mean_live, 1) for m, r in per.items()}

@@ -19,11 +19,12 @@ MACHINES = ("seqdf", "ordered", "unordered", "tyr")
 @register("fig15")
 def run(scale: str = "default", workload: str = "dmv",
         widths=(16, 32, 64, 128, 256, 512), tags: int = 64,
-        jobs: int = 1, cache=None, **kwargs) -> ExperimentReport:
+        jobs: int = 1, cache=None, options=None,
+        **kwargs) -> ExperimentReport:
     wl = build_workload(workload, scale)
     swept = sweep_issue_width(wl, widths, MACHINES, tags=tags,
                               sample_traces=False, jobs=jobs,
-                              cache=cache)
+                              cache=cache, options=options)
     cycle_rows = []
     state_rows = []
     for width in widths:

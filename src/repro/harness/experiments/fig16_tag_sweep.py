@@ -17,10 +17,12 @@ from repro.workloads import build_workload
 @register("fig16")
 def run(scale: str = "default", workload: str = "spmspm",
         tag_counts=(2, 8, 32, 64, 128, 512), issue_width: int = 128,
-        jobs: int = 1, cache=None, **kwargs) -> ExperimentReport:
+        jobs: int = 1, cache=None, options=None,
+        **kwargs) -> ExperimentReport:
     wl = build_workload(workload, scale)
     swept = sweep_tags(wl, tag_counts, issue_width=issue_width,
-                       jobs=jobs, cache=cache)
+                       jobs=jobs, cache=cache,
+                       options=options)
     chart = line_chart(
         {f"t={t}": downsample(r.live_trace, 72)
          for t, r in swept.items()},

@@ -19,11 +19,12 @@ from repro.workloads import build_workload
 @register("fig17")
 def run(scale: str = "small", workload: str = "spmspv",
         widths=(8, 16, 32, 64, 128), tag_counts=(2, 4, 8, 16, 32, 64),
-        jobs: int = 1, cache=None, **kwargs) -> ExperimentReport:
+        jobs: int = 1, cache=None, options=None,
+        **kwargs) -> ExperimentReport:
     wl = build_workload(workload, scale)
     grid = sweep_width_x_tags(wl, widths, tag_counts,
                               sample_traces=False, jobs=jobs,
-                              cache=cache)
+                              cache=cache, options=options)
     ipc_rows = []
     peak_rows = []
     for width in widths:
@@ -41,7 +42,7 @@ def run(scale: str = "small", workload: str = "spmspv",
         [(wl, "tyr", {"issue_width": width, "tags": tags,
                       "sample_traces": False})
          for width, tags in missing],
-        jobs=jobs, cache=cache,
+        jobs=jobs, cache=cache, options=options,
     )
     grid.update(zip(missing, extra))
     line_rows = []

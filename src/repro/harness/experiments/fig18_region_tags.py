@@ -30,18 +30,20 @@ def outermost_loops(program: ContextProgram) -> List[str]:
 @register("fig18")
 def run(scale: str = "large", workload: str = "dmv",
         base_tags: int = 64, outer_tags: int = 32,
-        jobs: int = 1, cache=None, **kwargs) -> ExperimentReport:
+        jobs: int = 1, cache=None, options=None,
+        **kwargs) -> ExperimentReport:
     """Note: the paper tunes dmm (256x256); at our scaled-down dmm the
     outer loop has fewer iterations than tags, so the knob cannot bind.
     dmv at the large scale (64 outer iterations) exhibits the same
     effect the paper reports, so it is the default here (recorded in
     EXPERIMENTS.md)."""
     return _run(scale, workload, base_tags, outer_tags, jobs=jobs,
-                cache=cache, **kwargs)
+                cache=cache, options=options, **kwargs)
 
 
 def _run(scale: str, workload: str, base_tags: int, outer_tags: int,
-         jobs: int = 1, cache=None, **kwargs) -> ExperimentReport:
+         jobs: int = 1, cache=None, options=None,
+         **kwargs) -> ExperimentReport:
     wl = build_workload(workload, scale)
     outer = outermost_loops(wl.compiled.program)
     baseline, tuned = run_batch(
@@ -51,7 +53,7 @@ def _run(scale: str, workload: str, base_tags: int, outer_tags: int,
                          "tag_overrides": {name: outer_tags
                                            for name in outer}}),
         ],
-        jobs=jobs, cache=cache,
+        jobs=jobs, cache=cache, options=options,
     )
     reduction = 1 - tuned.peak_live / max(baseline.peak_live, 1)
     slowdown = tuned.cycles / max(baseline.cycles, 1)

@@ -26,18 +26,47 @@ and experiment driver:
 * :class:`~repro.errors.DeadlockError` / ``SimulationError`` raised by
   a run are re-raised with the failing workload, machine, and config
   appended to the message -- essential once failures surface from pool
-  workers far from the loop that queued them.
+  workers far from the loop that queued them;
+* dispatch is **asynchronous** (parent-side scheduling over per-worker
+  task pipes): each run can be bounded by a wall-clock ``timeout``
+  (:class:`~repro.errors.RunTimeoutError`), a worker that dies mid-run
+  (OOM kill, segfault) is detected and its spec redispatched to a
+  fresh forked worker up to ``retries`` times
+  (:class:`~repro.errors.WorkerCrashError` after that), successful
+  results are written back to the cache **the moment they land** (so
+  an interrupted sweep resumes from every finished spec), and a
+  ``Ctrl-C`` terminates the pool and reports how much completed;
+* a :class:`~repro.harness.runlog.RunLog` records one JSON event per
+  spec transition and a :class:`~repro.harness.runlog.ProgressLine`
+  renders live done/total + cache-hit rate + ETA -- both opt-in via
+  :class:`RunOptions` (CLI: ``experiment --timeout/--retries/
+  --run-log/--progress``).
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
+import queue as queue_mod
+import signal
+import sys
+import time
+import traceback
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Type
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
 
-from repro.errors import DeadlockError, ReproError, SimulationError
+from repro.errors import (
+    DeadlockError,
+    ReproError,
+    RunTimeoutError,
+    SimulationError,
+    UnexpectedRunError,
+    WorkerCrashError,
+)
 from repro.harness.cache import CompileCache, ResultCache, result_key
+from repro.harness.runlog import ProgressLine, RunLog
 from repro.harness.runner import _TAGGED_MACHINES
 from repro.sim.metrics import ExecutionResult
 from repro.workloads.registry import WorkloadInstance, build_workload
@@ -76,11 +105,27 @@ def canonical_config(kwargs: Dict[str, object]
     return tuple(items)
 
 
+def _is_canonical_dict(value: object) -> bool:
+    """Whether ``value`` is the item-tuple form a dict canonicalizes
+    to: a tuple of ``(str, value)`` pairs (including the empty tuple,
+    which is indistinguishable from a canonicalized ``{}``)."""
+    return (isinstance(value, tuple)
+            and all(isinstance(item, tuple) and len(item) == 2
+                    and isinstance(item[0], str) for item in value))
+
+
 def _config_kwargs(spec: RunSpec) -> Dict[str, object]:
-    """Invert :func:`canonical_config` back into run kwargs."""
+    """Invert :func:`canonical_config` back into run kwargs.
+
+    *Every* canonicalized dict is rebuilt, not just ``tag_overrides``:
+    any dict-valued run kwarg round-trips. The canonical form itself is
+    lossy for values that already *were* tuples of string-keyed pairs
+    (they collide with the dict encoding, in the cache key too), so
+    those are rebuilt as dicts as well -- no run kwarg has that shape.
+    """
     kwargs: Dict[str, object] = {}
     for key, value in spec.config:
-        if key == "tag_overrides" and value is not None:
+        if _is_canonical_dict(value):
             value = dict(value)
         kwargs[key] = value
     return kwargs
@@ -198,26 +243,285 @@ def run_one(spec: RunSpec) -> ExecutionResult:
 
 
 def _run_guarded(spec: RunSpec) -> Tuple[bool, object]:
-    """Worker entry point: never let a library error kill the pool."""
+    """Worker entry point: never let an exception kill the pool.
+
+    Library failures (:class:`ReproError`) come back as-is; anything
+    else -- a numpy oracle check failure, a plain bug -- is wrapped in
+    :class:`UnexpectedRunError` with the spec context and the original
+    traceback, so the parent re-raises it naming the workload,
+    machine, and config that triggered it instead of a bare
+    ``ValueError`` from deep inside a worker.
+    """
     try:
         return True, run_one(spec)
     except ReproError as err:
         return False, err
+    except Exception as err:
+        return False, UnexpectedRunError(
+            f"{type(err).__name__}: {err} [{spec.describe()}]\n"
+            f"--- original traceback ---\n{traceback.format_exc()}")
+
+
+@dataclass
+class RunOptions:
+    """Execution policy and observability for one :func:`run_specs`.
+
+    ``timeout``
+        Wall-clock seconds one run may take before its worker is
+        terminated and the spec fails with
+        :class:`~repro.errors.RunTimeoutError` (timeouts are *not*
+        retried -- the simulators are deterministic, so a hung run
+        hangs again). ``None`` disables the bound. A timeout forces
+        the forked-worker path even for ``jobs=1``, since an in-process
+        run cannot be preempted.
+    ``retries``
+        How many times a spec whose worker *died* mid-run is
+        redispatched to a fresh worker before failing with
+        :class:`~repro.errors.WorkerCrashError`.
+    ``run_log``
+        Path (or open :class:`~repro.harness.runlog.RunLog` / text
+        stream) receiving one JSON event per spec transition; see
+        :mod:`repro.harness.runlog` for the schema.
+    ``progress``
+        Render a live ``done/total | cache-hit rate | ETA`` line on
+        stderr.
+    """
+
+    timeout: Optional[float] = None
+    retries: int = 1
+    run_log: Optional[object] = None
+    progress: bool = False
+
+
+def _pool_worker(specs: List[RunSpec], tasks, results) -> None:
+    """Worker process main loop.
+
+    Pulls spec indices off its private task pipe, runs them guarded,
+    and pushes ``(index, pid, wall_seconds, ok, payload_bytes)`` onto
+    the shared result queue. The payload is pickled *here*, in the
+    worker, so an unpicklable outcome degrades into a structured
+    failure instead of killing the queue's feeder thread and hanging
+    the parent.
+
+    SIGINT is ignored: a Ctrl-C lands on the whole process group, and
+    the parent owns shutdown -- workers dying on the signal would race
+    it with spurious crash-retries.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    pid = os.getpid()
+    while True:
+        try:
+            index = tasks.get()
+        except (EOFError, OSError):
+            return
+        if index is None:
+            return
+        t0 = time.monotonic()
+        ok, payload = _run_guarded(specs[index])
+        wall = time.monotonic() - t0
+        try:
+            blob = pickle.dumps(payload, pickle.HIGHEST_PROTOCOL)
+        except Exception as err:  # unpicklable result or exception
+            ok = False
+            blob = pickle.dumps(UnexpectedRunError(
+                f"worker outcome could not be pickled back to the "
+                f"parent ({type(err).__name__}: {err}) "
+                f"[{specs[index].describe()}]"))
+        results.put((index, pid, wall, ok, blob))
+
+
+def _decode_outcome(ok: bool, blob: bytes,
+                    spec: RunSpec) -> Tuple[bool, object]:
+    try:
+        return ok, pickle.loads(blob)
+    except Exception as err:
+        return False, UnexpectedRunError(
+            f"worker outcome could not be unpickled "
+            f"({type(err).__name__}: {err}) [{spec.describe()}]")
+
+
+def _run_pool(specs: List[RunSpec], pending: Sequence[int],
+              n_workers: int, opts: RunOptions, log: Optional[RunLog],
+              deliver: Callable[[int, bool, object, float, int], None],
+              ) -> None:
+    """Async dispatch loop over forked workers.
+
+    The parent assigns one spec at a time to each worker over a
+    private task pipe (so it always knows which worker owns which
+    spec), collects outcomes from a shared result queue, and calls
+    ``deliver(index, ok, payload, wall, pid)`` **as each outcome
+    lands** -- that is what makes cache write-back incremental. On top
+    of plain completion it handles:
+
+    * **timeouts** -- a run past ``opts.timeout`` wall seconds has its
+      worker terminated and is delivered as a
+      :class:`RunTimeoutError`;
+    * **worker crashes** -- a worker that dies mid-run (OOM kill,
+      segfault) has its spec redispatched to a freshly forked worker
+      up to ``opts.retries`` times, then delivered as a
+      :class:`WorkerCrashError`; the pool is respawned back to
+      strength either way;
+    * **fatal failures** -- ``deliver`` raising (an untolerated
+      failure) aborts the loop immediately; the ``finally`` block
+      tears every worker down, so a 1000-spec sweep does not grind on
+      after spec 3 failed.
+
+    Stale results (a retried spec whose first worker managed to push
+    an outcome before dying) are dropped via the ``outstanding`` set,
+    so no spec is ever delivered twice.
+    """
+    ctx = multiprocessing.get_context("fork")
+    results = ctx.Queue()
+    todo = deque(pending)
+    outstanding = set(pending)
+    attempts = dict.fromkeys(pending, 0)
+    workers: Dict[int, Tuple[multiprocessing.Process, object]] = {}
+    running: Dict[int, Tuple[int, float]] = {}
+    delivered = 0
+
+    def spawn() -> None:
+        tasks = ctx.SimpleQueue()
+        proc = ctx.Process(target=_pool_worker,
+                           args=(specs, tasks, results), daemon=True)
+        proc.start()
+        workers[proc.pid] = (proc, tasks)
+
+    def assign(pid: int) -> None:
+        index = todo.popleft()
+        attempts[index] += 1
+        workers[pid][1].put(index)
+        running[pid] = (index, time.monotonic())
+        if log:
+            log.event("started", index=index,
+                      spec=specs[index].describe(), worker=pid,
+                      attempt=attempts[index])
+
+    def retire(pid: int) -> multiprocessing.Process:
+        """Tear one worker down (SIGTERM, escalating to SIGKILL)."""
+        proc, _ = workers.pop(pid)
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(2.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join()
+        else:
+            proc.join()
+        return proc
+
+    try:
+        while delivered < len(pending):
+            # Keep the pool at strength and every worker busy.
+            want = min(n_workers, len(todo) + len(running))
+            while len(workers) < want:
+                spawn()
+            for pid in [p for p in workers if p not in running]:
+                if not todo:
+                    break
+                assign(pid)
+
+            # Wait for the next outcome, but wake early for the
+            # nearest deadline (and periodically, for crash checks).
+            wait = 0.2
+            if opts.timeout is not None and running:
+                now = time.monotonic()
+                deadline = (min(t0 for _, t0 in running.values())
+                            + opts.timeout)
+                wait = min(wait, max(0.01, deadline - now))
+            batch = []
+            try:
+                batch.append(results.get(timeout=wait))
+                while True:
+                    batch.append(results.get_nowait())
+            except queue_mod.Empty:
+                pass
+            for index, pid, wall, ok, blob in batch:
+                if running.get(pid, (None,))[0] == index:
+                    del running[pid]
+                if index not in outstanding:
+                    continue  # stale result of a retried spec
+                outstanding.discard(index)
+                delivered += 1
+                ok, payload = _decode_outcome(ok, blob, specs[index])
+                deliver(index, ok, payload, wall, pid)
+
+            # Crash detection -- after draining, so a worker that
+            # completed its spec and then died is not misread as a
+            # mid-run crash.
+            dead = [pid for pid, (proc, _) in workers.items()
+                    if not proc.is_alive()]
+            for pid in dead:
+                proc = retire(pid)
+                index, _ = running.pop(pid, (None, None))
+                if index is None or index not in outstanding:
+                    continue  # worker died idle, or result already in
+                spec = specs[index]
+                if attempts[index] <= opts.retries:
+                    if log:
+                        log.event("retried", index=index,
+                                  spec=spec.describe(), worker=pid,
+                                  exitcode=proc.exitcode,
+                                  attempt=attempts[index])
+                    todo.append(index)
+                else:
+                    outstanding.discard(index)
+                    delivered += 1
+                    deliver(index, False, WorkerCrashError(
+                        f"worker pid {pid} (exit code {proc.exitcode})"
+                        f" died running {spec.describe()}; giving up "
+                        f"after {attempts[index]} attempt(s)"),
+                        0.0, pid)
+
+            # Timeout enforcement.
+            if opts.timeout is not None:
+                now = time.monotonic()
+                late = [(pid, index, t0)
+                        for pid, (index, t0) in running.items()
+                        if now - t0 > opts.timeout]
+                for pid, index, t0 in late:
+                    del running[pid]
+                    retire(pid)
+                    spec = specs[index]
+                    if log:
+                        log.event("timed-out", index=index,
+                                  spec=spec.describe(), worker=pid,
+                                  wall_s=round(now - t0, 3),
+                                  timeout_s=opts.timeout)
+                    if index in outstanding:
+                        outstanding.discard(index)
+                        delivered += 1
+                        deliver(index, False, RunTimeoutError(
+                            f"run exceeded the {opts.timeout:g}s "
+                            f"wall-clock timeout: {spec.describe()}"),
+                            now - t0, pid)
+    finally:
+        for pid in list(workers):
+            retire(pid)
+        results.close()
+        results.join_thread()
 
 
 def run_specs(specs: Sequence[RunSpec], jobs: int = 1,
               cache: Optional[ResultCache] = None,
               tolerate: Tuple[Type[BaseException], ...] = (),
               plan_cache: Optional[CompileCache] = None,
+              options: Optional[RunOptions] = None,
               ) -> List[object]:
     """Execute specs, in order, optionally cached and in parallel.
 
     Returns one entry per spec: an :class:`ExecutionResult`, or the
     raised exception if its type is in ``tolerate`` (anything else
     propagates). Cache hits skip the engines entirely; failures are
-    tolerated per-spec but never cached. Note a tolerated exception
-    that crossed a process boundary loses attributes outside
-    ``args`` (e.g. ``DeadlockError.diagnosis``).
+    tolerated per-spec but never cached. Tolerated exceptions keep
+    their payload across the process boundary (``DeadlockError``
+    round-trips its ``diagnosis``).
+
+    Each successful result is written back to the cache **the moment
+    it lands**, so a sweep interrupted by Ctrl-C, a fatal failure, or
+    a machine crash resumes on rerun: only genuinely unfinished specs
+    are redispatched. ``options`` (a :class:`RunOptions`) adds a
+    per-run wall-clock timeout, bounded crash retry, a JSON-lines run
+    log, and a live progress line; see :class:`RunOptions`.
 
     When a result ``cache`` is given without an explicit
     ``plan_cache``, compiled artifacts persist to
@@ -227,49 +531,111 @@ def run_specs(specs: Sequence[RunSpec], jobs: int = 1,
     copy-on-write instead of recompiling per worker.
     """
     specs = list(specs)
+    opts = options or RunOptions()
     if plan_cache is None and cache is not None:
         plan_cache = CompileCache(os.path.join(cache.root, "plans"))
+
+    log: Optional[RunLog] = None
+    owns_log = False
+    if opts.run_log is not None:
+        if isinstance(opts.run_log, RunLog):
+            log = opts.run_log
+        else:
+            log, owns_log = RunLog(opts.run_log), True
+    progress = ProgressLine(len(specs), enabled=opts.progress)
+
     results: List[object] = [None] * len(specs)
     keys: Dict[int, str] = {}
     pending: List[int] = []
-    for i, spec in enumerate(specs):
-        if cache is not None:
-            keys[i] = cache_key(spec)
-            hit = cache.get(keys[i])
-            if hit is not None:
-                results[i] = hit
-                continue
-        pending.append(i)
+    finished = 0
 
-    outcomes: Dict[int, Tuple[bool, object]] = {}
-    if pending and (jobs > 1 or plan_cache is not None):
-        precompile_specs([specs[i] for i in pending], plan_cache)
-    if jobs > 1 and len(pending) > 1:
-        ctx = multiprocessing.get_context("fork")
-        with ctx.Pool(min(jobs, len(pending))) as workers:
-            done = workers.map(_run_guarded,
-                               [specs[i] for i in pending],
-                               chunksize=1)
-        outcomes = dict(zip(pending, done))
-    else:
-        for i in pending:
-            outcomes[i] = _run_guarded(specs[i])
-
-    for i, (ok, payload) in outcomes.items():
+    def deliver(index: int, ok: bool, payload: object, wall: float,
+                pid: int) -> None:
+        nonlocal finished
+        spec = specs[index]
         if ok:
-            results[i] = payload
+            results[index] = payload
             if cache is not None:
-                cache.put(keys[i], payload)
-        elif isinstance(payload, tolerate):
-            results[i] = payload
-        else:
-            raise payload
-    return results
+                cache.put(keys[index], payload)
+            finished += 1
+            if log:
+                log.event("finished", index=index,
+                          spec=spec.describe(), worker=pid, ok=True,
+                          wall_s=round(wall, 6))
+            progress.finished()
+            return
+        tolerated = isinstance(payload, tolerate)
+        if log:
+            log.event("finished", index=index, spec=spec.describe(),
+                      worker=pid, ok=False,
+                      error=type(payload).__name__,
+                      tolerated=tolerated, wall_s=round(wall, 6))
+        if tolerated:
+            results[index] = payload
+            finished += 1
+            progress.finished()
+            return
+        raise payload
+
+    try:
+        for i, spec in enumerate(specs):
+            if cache is not None:
+                keys[i] = cache_key(spec)
+                hit = cache.get(keys[i])
+                if hit is not None:
+                    results[i] = hit
+                    finished += 1
+                    if log:
+                        log.event("cache-hit", index=i,
+                                  spec=spec.describe(), key=keys[i])
+                    progress.cache_hit()
+                    continue
+            if log:
+                log.event("queued", index=i, spec=spec.describe())
+            pending.append(i)
+
+        use_pool = bool(pending) and (
+            (jobs > 1 and len(pending) > 1) or opts.timeout is not None)
+        if pending and (use_pool or plan_cache is not None):
+            precompile_specs([specs[i] for i in pending], plan_cache)
+        try:
+            if use_pool:
+                _run_pool(specs, pending,
+                          max(1, min(jobs, len(pending))), opts, log,
+                          deliver)
+            else:
+                for i in pending:
+                    if log:
+                        log.event("started", index=i,
+                                  spec=specs[i].describe(),
+                                  worker=os.getpid(), attempt=1)
+                    t0 = time.monotonic()
+                    ok, payload = _run_guarded(specs[i])
+                    deliver(i, ok, payload, time.monotonic() - t0,
+                            os.getpid())
+        except KeyboardInterrupt:
+            if log:
+                log.event("interrupted", finished=finished,
+                          total=len(specs))
+            progress.close()
+            print(f"interrupted: {finished}/{len(specs)} spec(s) "
+                  f"finished"
+                  + (", completed results are cached (a rerun "
+                     "redispatches only unfinished specs)"
+                     if cache is not None else ""),
+                  file=sys.stderr)
+            raise
+        return results
+    finally:
+        progress.close()
+        if owns_log:
+            log.close()
 
 
 def run_batch(runs: Sequence[Tuple], jobs: int = 1,
               cache: Optional[ResultCache] = None,
               tolerate: Tuple[Type[BaseException], ...] = (),
+              options: Optional[RunOptions] = None,
               ) -> List[object]:
     """:func:`run_specs` over ``(workload, machine[, config[, check]])``
     tuples -- the driver-facing form."""
@@ -279,4 +645,5 @@ def run_batch(runs: Sequence[Tuple], jobs: int = 1,
         config = run[2] if len(run) > 2 else None
         check = run[3] if len(run) > 3 else True
         specs.append(spec_for(workload, machine, config, check))
-    return run_specs(specs, jobs=jobs, cache=cache, tolerate=tolerate)
+    return run_specs(specs, jobs=jobs, cache=cache, tolerate=tolerate,
+                     options=options)

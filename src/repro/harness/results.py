@@ -90,13 +90,23 @@ def merge_histograms(histograms: Iterable[Dict[int, int]]
 
 def histogram_quantile(histogram: Dict[int, int], index: int) -> int:
     """The value at position ``index`` of the sorted concatenated
-    trace (``sorted(trace)[index]`` without building the list)."""
+    trace (``sorted(trace)[index]`` without building the list).
+
+    ``index`` must satisfy ``0 <= index < sum(counts)``, exactly like
+    the list indexing it replaces -- an out-of-range index raises
+    ``ValueError`` instead of silently reporting a quantile of 0.
+    """
+    total = sum(histogram.values())
+    if not 0 <= index < total:
+        raise ValueError(
+            f"index {index} out of range for a histogram of {total} "
+            f"sample(s)")
     seen = 0
     for value, count in sorted(histogram.items()):
         seen += count
         if seen > index:
             return value
-    return 0
+    raise AssertionError("unreachable: index bounds checked above")
 
 
 def histogram_cdf(histogram: Dict[int, int]
@@ -137,7 +147,11 @@ def downsample(trace: Sequence[float], n_points: int = 100) -> List[float]:
     """Bucket-max downsampling for long traces (keeps peaks visible).
 
     RLE traces walk their runs instead of slicing per-cycle values.
+    ``n_points`` must be positive (a non-positive count used to die
+    with a bare ``ZeroDivisionError`` mid-bucketing).
     """
+    if n_points <= 0:
+        raise ValueError(f"n_points must be positive, got {n_points}")
     if isinstance(trace, RLETrace):
         return trace.downsample(n_points)
     if len(trace) <= n_points:

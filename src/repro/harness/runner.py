@@ -150,6 +150,13 @@ class CompiledWorkload:
 
         The returned result's declared program outputs are in
         ``result.extra["declared_results"]``.
+
+        ``max_cycles`` bounds *simulated* cycles, which does not help
+        against a slow host or an engine bug that stops the cycle
+        counter advancing; sweeps needing a wall-clock bound run
+        through :func:`repro.harness.pool.run_specs` with
+        ``RunOptions(timeout=...)``, which terminates the worker
+        process instead.
         """
         full_args = self.entry_args(args)
         if machine in _TAGGED_MACHINES:

@@ -261,6 +261,9 @@ class RLETrace(_SequenceABC):
         """Bucket-max downsampling (keeps peaks visible); identical
         output to :func:`repro.harness.results.downsample` on the
         materialized trace."""
+        if n_points <= 0:
+            raise ValueError(
+                f"n_points must be positive, got {n_points}")
         n = self._length
         if n <= n_points:
             return self._materialize_range(0, n)

@@ -42,6 +42,35 @@ def test_experiment_command(capsys):
     assert "changeTag" in out
 
 
+def test_experiment_harness_flags(capsys, tmp_path):
+    """--run-log/--progress/--timeout/--retries flow into the pool."""
+    import json
+
+    log_path = tmp_path / "run.jsonl"
+    assert main(["experiment", "fig05", "--scale", "tiny",
+                 "--jobs", "2", "--cache-dir",
+                 str(tmp_path / "cache"), "--run-log", str(log_path),
+                 "--progress", "--timeout", "600", "--retries", "2",
+                 ]) == 0
+    captured = capsys.readouterr()
+    assert "fig05" in captured.out
+    assert "specs" in captured.err  # the live progress line
+    events = [json.loads(line)
+              for line in log_path.read_text().splitlines()]
+    kinds = {ev["event"] for ev in events}
+    assert {"queued", "started", "finished"} <= kinds
+
+    # Warm rerun: same command resolves everything from the cache.
+    assert main(["experiment", "fig05", "--scale", "tiny",
+                 "--jobs", "2", "--cache-dir",
+                 str(tmp_path / "cache"), "--run-log", str(log_path),
+                 ]) == 0
+    capsys.readouterr()
+    warm = [json.loads(line)
+            for line in log_path.read_text().splitlines()][len(events):]
+    assert warm and all(ev["event"] == "cache-hit" for ev in warm)
+
+
 def test_inspect_command(capsys, tmp_path):
     dot = tmp_path / "g.dot"
     assert main(["inspect", "dmv", "--dot", str(dot)]) == 0

@@ -60,6 +60,34 @@ def test_downsample_preserves_peaks():
     assert agg.downsample([1, 2], 50) == [1, 2]
 
 
+def test_downsample_rejects_nonpositive_points():
+    from repro.sim.metrics import RLETrace
+
+    for n_points in (0, -3):
+        with pytest.raises(ValueError, match="n_points"):
+            agg.downsample([1, 2, 3], n_points)
+        with pytest.raises(ValueError, match="n_points"):
+            agg.downsample(RLETrace([1] * 500), n_points)
+        with pytest.raises(ValueError, match="n_points"):
+            RLETrace([1, 2, 3]).downsample(n_points)
+
+
+def test_histogram_quantile_in_range():
+    hist = {1: 2, 3: 1}  # sorted trace: [1, 1, 3]
+    assert agg.histogram_quantile(hist, 0) == 1
+    assert agg.histogram_quantile(hist, 1) == 1
+    assert agg.histogram_quantile(hist, 2) == 3
+
+
+def test_histogram_quantile_rejects_out_of_range_index():
+    hist = {1: 2, 3: 1}
+    for index in (-1, 3, 100):
+        with pytest.raises(ValueError, match="out of range"):
+            agg.histogram_quantile(hist, index)
+    with pytest.raises(ValueError, match="out of range"):
+        agg.histogram_quantile({}, 0)
+
+
 def test_table_alignment():
     text = plots.table(["a", "bb"], [[1, 2.5], [10, 0.001]])
     lines = text.splitlines()

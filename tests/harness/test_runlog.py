@@ -1,0 +1,72 @@
+"""Unit tests for the run-log and progress-line observability layer."""
+
+import io
+import json
+
+from repro.harness.runlog import ProgressLine, RunLog
+
+
+def test_run_log_writes_one_json_object_per_line(tmp_path):
+    path = str(tmp_path / "log.jsonl")
+    log = RunLog(path)
+    log.event("queued", index=0, spec="s0")
+    log.event("finished", index=0, ok=True, wall_s=0.25)
+    log.close()
+    # Append mode: a second log continues the same history.
+    log = RunLog(path)
+    log.event("cache-hit", index=0)
+    log.close()
+
+    with open(path) as fh:
+        events = [json.loads(line) for line in fh]
+    assert [ev["event"] for ev in events] == [
+        "queued", "finished", "cache-hit"]
+    assert all("t" in ev for ev in events)
+    assert events[1]["ok"] is True
+
+
+def test_run_log_stringifies_unserializable_values(tmp_path):
+    path = str(tmp_path / "log.jsonl")
+    log = RunLog(path)
+    log.event("finished", payload={1, 2})  # a set is not JSON
+    log.close()
+    with open(path) as fh:
+        record = json.loads(fh.read())
+    assert "1" in record["payload"]
+
+
+def test_run_log_accepts_open_stream():
+    stream = io.StringIO()
+    log = RunLog(stream)
+    log.event("queued", index=3)
+    log.close()  # must not close a caller-owned stream
+    assert json.loads(stream.getvalue())["index"] == 3
+
+
+def test_progress_line_renders_done_hits_and_eta():
+    stream = io.StringIO()
+    progress = ProgressLine(4, enabled=True, stream=stream)
+    progress.cache_hit()
+    progress.finished()
+    progress.close()
+    out = stream.getvalue()
+    assert "2/4 specs" in out
+    assert "50% cached" in out
+    assert "eta" in out
+
+
+def test_progress_line_disabled_writes_nothing():
+    stream = io.StringIO()
+    progress = ProgressLine(4, enabled=False, stream=stream)
+    progress.finished()
+    progress.close()
+    assert stream.getvalue() == ""
+
+
+def test_progress_line_close_is_idempotent():
+    stream = io.StringIO()
+    progress = ProgressLine(2, enabled=True, stream=stream)
+    progress.finished()
+    progress.close()
+    progress.close()
+    assert stream.getvalue().count("\n") == 1

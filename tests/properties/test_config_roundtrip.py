@@ -1,0 +1,68 @@
+"""``canonical_config`` / ``_config_kwargs`` must be inverses.
+
+The canonical form flattens dict-valued run kwargs into sorted item
+tuples so a :class:`RunSpec` is hashable and picklable; the worker
+inverts it back before calling ``CompiledWorkload.run``. The seed
+only inverted the ``tag_overrides`` key, so any *other* dict-valued
+kwarg silently round-tripped as a tuple of items -- these properties
+pin the general inversion.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.harness.pool import RunSpec, _config_kwargs, canonical_config
+
+#: Scalar values that actually appear in run kwargs (ints, bools,
+#: floats, strings, None).
+_SCALARS = st.one_of(
+    st.integers(min_value=-(2 ** 31), max_value=2 ** 31),
+    st.booleans(),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=8),
+    st.none(),
+)
+
+#: A run-kwargs dict: scalar- or dict-valued entries (dicts themselves
+#: hold scalars, like ``tag_overrides``'s block-name -> tag-count).
+_CONFIGS = st.dictionaries(
+    keys=st.text(min_size=1, max_size=12),
+    values=st.one_of(
+        _SCALARS,
+        st.dictionaries(keys=st.text(min_size=1, max_size=12),
+                        values=_SCALARS, max_size=4),
+    ),
+    max_size=6,
+)
+
+
+def _spec_with(config):
+    return RunSpec(workload="dmv", scale="tiny", seed=0, params=(),
+                   machine="tyr", config=canonical_config(config))
+
+
+@given(_CONFIGS)
+def test_config_roundtrip(config):
+    assert _config_kwargs(_spec_with(config)) == config
+
+
+@given(_CONFIGS)
+def test_canonical_config_is_order_insensitive_and_hashable(config):
+    canonical = canonical_config(config)
+    assert canonical == canonical_config(
+        dict(reversed(list(config.items()))))
+    hash(canonical)  # must be usable inside a cache key
+
+
+def test_every_dict_valued_kwarg_roundtrips():
+    """The seed bug, pinned directly: a dict under any key (not just
+    ``tag_overrides``) must come back as a dict."""
+    config = {"tag_overrides": {"b": 2, "a": 4},
+              "other_overrides": {"x": 1},
+              "tags": 8}
+    assert _config_kwargs(_spec_with(config)) == config
+
+
+def test_empty_dict_roundtrips_as_dict():
+    assert _config_kwargs(_spec_with({"tag_overrides": {}})) == {
+        "tag_overrides": {}}
