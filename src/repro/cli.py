@@ -123,6 +123,39 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    import json
+
+    from repro.harness.ascii_plots import bar_chart, table
+
+    wl = build_workload(args.workload, args.scale)
+    res = wl.run_checked(
+        args.machine,
+        profile=True,
+        tags=args.tags,
+        issue_width=args.issue_width,
+        queue_depth=args.queue_depth,
+        window=args.window,
+        total_tags=args.total_tags,
+    )
+    prof = res.extra["profile"]
+    if args.json:
+        print(json.dumps(prof.to_json_dict(), indent=2,
+                         sort_keys=True))
+        return 0
+    print(f"{args.machine} on {args.workload} ({args.scale}): "
+          f"{prof.cycles} cycles, {prof.instructions} instructions, "
+          f"{prof.busy_cycles} busy")
+    print()
+    print(bar_chart(prof.stall_breakdown(),
+                    title="cycles by stall reason", unit=" cy"))
+    rows = [(label, str(fired), f"{cycles:.1f}")
+            for label, fired, cycles in prof.top_nodes(args.top)]
+    print(table(("node", "fired", "cycles"), rows,
+                title=f"top {len(rows)} nodes by attributed cycles"))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="tyr-repro",
@@ -199,6 +232,27 @@ def build_parser() -> argparse.ArgumentParser:
     tr_p.add_argument("--tags", type=int, default=64)
     tr_p.add_argument("--dot", metavar="FILE",
                       help="write the Graphviz execution graph here")
+
+    prof_p = sub.add_parser(
+        "profile",
+        help="attribute a run's cycles to stall reasons and hot nodes",
+    )
+    prof_p.add_argument("workload",
+                        choices=WORKLOAD_NAMES + EXTRA_WORKLOADS)
+    prof_p.add_argument("--machine", "-m", default="tyr",
+                        choices=MACHINES)
+    prof_p.add_argument("--scale", default="tiny")
+    prof_p.add_argument("--tags", type=int, default=64,
+                        help="tags per local tag space (TYR/k-bounded)")
+    prof_p.add_argument("--total-tags", type=int, default=64,
+                        help="global pool size (unordered-bounded)")
+    prof_p.add_argument("--issue-width", type=int, default=128)
+    prof_p.add_argument("--queue-depth", type=int, default=4)
+    prof_p.add_argument("--window", type=int, default=8)
+    prof_p.add_argument("--top", type=int, default=10,
+                        help="rows in the hotspot table (default 10)")
+    prof_p.add_argument("--json", action="store_true",
+                        help="emit the raw profile record as JSON")
     return parser
 
 
@@ -218,6 +272,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_inspect(args)
         if args.command == "trace":
             return _cmd_trace(args)
+        if args.command == "profile":
+            return _cmd_profile(args)
     except ReproError as err:
         print(f"error: {err}", file=sys.stderr)
         return 1

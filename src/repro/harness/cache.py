@@ -42,7 +42,8 @@ from repro.sim.metrics import ExecutionResult
 #: Bump when a change legitimately alters simulated metrics (i.e. the
 #: golden-metrics file is regenerated) or the pickled entry format.
 #: v2: traces are run-length encoded (PR 3).
-CACHE_VERSION = 2
+#: v3: results may carry stall-attribution profiles in ``extra``.
+CACHE_VERSION = 3
 
 #: Version of the *compiled-plan* cache (:class:`CompileCache`). Bump
 #: when :func:`repro.compiler.elaborate.elaborate` /

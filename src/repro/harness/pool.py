@@ -562,6 +562,11 @@ def run_specs(specs: Sequence[RunSpec], jobs: int = 1,
                 log.event("finished", index=index,
                           spec=spec.describe(), worker=pid, ok=True,
                           wall_s=round(wall, 6))
+                prof = getattr(payload, "extra", {}).get("profile")
+                if prof is not None:
+                    log.event("profile", index=index,
+                              spec=spec.describe(),
+                              **prof.summary_fields())
             progress.finished()
             return
         tolerated = isinstance(payload, tolerate)

@@ -17,6 +17,10 @@ Two small, dependency-free surfaces that
   ``finished``    ``index``, ``spec``, ``worker``, ``ok``,
                   ``wall_s``; failed runs add ``error`` (exception
                   class name) and ``tolerated``
+  ``profile``     ``index``, ``spec``, ``cycles``, ``instructions``,
+                  ``stall_cycles``, ``top_nodes`` -- the run carried a
+                  stall-attribution profile (``profile=True`` specs);
+                  follows that spec's ``finished`` event
   ``retried``     ``index``, ``spec``, ``worker``, ``exitcode``,
                   ``attempt`` -- the worker died and the spec was
                   redispatched to a fresh worker

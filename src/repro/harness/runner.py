@@ -145,7 +145,8 @@ class CompiledWorkload:
             track_occupancy: bool = False,
             record_trace: bool = False,
             load_latency: int = 1,
-            max_cycles: int = 50_000_000) -> ExecutionResult:
+            max_cycles: int = 50_000_000,
+            profile: bool = False) -> ExecutionResult:
         """Run this workload on ``machine`` and return its metrics.
 
         The returned result's declared program outputs are in
@@ -176,18 +177,21 @@ class CompiledWorkload:
                 record_trace=record_trace,
                 load_latency=load_latency,
                 max_cycles=max_cycles,
+                profile=profile,
             )
         elif machine == "ordered":
             engine = QueuedEngine(
                 self.flat, memory, queue_depth=queue_depth,
                 issue_width=issue_width, sample_traces=sample_traces,
                 load_latency=load_latency, max_cycles=max_cycles,
+                profile=profile,
             )
         elif machine == "vn":
             engine = WindowEngine(
                 self.program, memory, window=1, issue_width=1,
                 sample_traces=sample_traces, load_latency=load_latency,
                 max_cycles=max_cycles, machine_name="vn",
+                profile=profile,
             )
         elif machine == "ooo":
             # Out-of-order superscalar approximation (paper Fig. 5b):
@@ -198,24 +202,31 @@ class CompiledWorkload:
                 self.program, memory, window=2, issue_width=4,
                 sample_traces=sample_traces, load_latency=load_latency,
                 max_cycles=max_cycles, machine_name="ooo",
+                profile=profile,
             )
         elif machine == "seqdf":
             engine = WindowEngine(
                 self.program, memory, window=window,
                 issue_width=issue_width, sample_traces=sample_traces,
                 load_latency=load_latency, max_cycles=max_cycles,
-                machine_name="seqdf",
+                machine_name="seqdf", profile=profile,
             )
         elif machine == "datapar":
             engine = DataParallelEngine(
                 self.program, memory, lanes=issue_width,
                 sample_traces=sample_traces, load_latency=load_latency,
-                max_cycles=max_cycles,
+                max_cycles=max_cycles, profile=profile,
             )
         else:
             raise SimulationError(f"unknown machine {machine!r}")
         result = engine.run(full_args)
         result.machine = machine
+        prof = result.extra.get("profile")
+        if prof is not None:
+            # Keep the profile's machine name in sync with the
+            # harness-level alias (e.g. "tyr" vs the engine's
+            # "tagged").
+            prof.machine = machine
         result.extra["declared_results"] = self.declared_results(
             result.results
         )

@@ -361,11 +361,22 @@ class ExecutionResult:
         return self.instructions / self.cycles
 
     def summary(self) -> str:
+        # Hand-built results (unsampled traces, no aggregate extras)
+        # must still render; degrade the live-state fields to "?"
+        # instead of raising MetricsUnavailable.
+        try:
+            peak = str(self.peak_live)
+        except MetricsUnavailable:
+            peak = "?"
+        try:
+            mean = f"{self.mean_live:.1f}"
+        except MetricsUnavailable:
+            mean = "?"
         return (
             f"{self.machine}: {'ok' if self.completed else 'DEADLOCK'} "
             f"cycles={self.cycles} instrs={self.instructions} "
-            f"ipc={self.mean_ipc:.2f} peak_live={self.peak_live} "
-            f"mean_live={self.mean_live:.1f}"
+            f"ipc={self.mean_ipc:.2f} peak_live={peak} "
+            f"mean_live={mean}"
         )
 
 

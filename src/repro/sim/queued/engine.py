@@ -31,6 +31,7 @@ from repro.ir.ops import OP_INFO, Op
 from repro.sim.latency import load_delay
 from repro.sim.memory import Memory
 from repro.sim.metrics import ExecutionResult, MetricsRecorder
+from repro.sim.profile import EngineProfiler
 
 #: Mu gate states.
 _MU_INIT = 0  # waiting for an initial value
@@ -48,7 +49,8 @@ class QueuedEngine:
                  queue_depth: int = 4, issue_width: int = 128,
                  sample_traces: bool = True,
                  load_latency: int = 1,
-                 max_cycles: int = 200_000_000):
+                 max_cycles: int = 200_000_000,
+                 profile: bool = False):
         if queue_depth < 1:
             raise SimulationError("queue depth must be >= 1")
         self.graph = graph
@@ -58,6 +60,9 @@ class QueuedEngine:
         self.load_latency = load_latency
         self.max_cycles = max_cycles
         self.metrics = MetricsRecorder(sample_traces=sample_traces)
+        # run() selects the profiled cycle loop only when set, so the
+        # default path has no per-cycle profiling branches.
+        self._profiler = EngineProfiler() if profile else None
 
         n = len(graph.nodes)
         self._op = [nd.op for nd in graph.nodes]
@@ -133,7 +138,26 @@ class QueuedEngine:
                 self._livebox[0] += 1
                 self._next_candidates.add(dest_id)
 
-        completed = False
+        if self._profiler is None:
+            completed = self._run_loop()
+        else:
+            completed = self._run_loop_profiled()
+
+        results = tuple(
+            self._results.get(i) for i in range(self.graph.n_results)
+        )
+        extra = {"queue_depth": self.queue_depth,
+                 "issue_width": self.issue_width}
+        if self._profiler is not None:
+            ops = self._op
+            extra["profile"] = self._profiler.finish(
+                "ordered", self.metrics.cycles,
+                self.metrics.instructions,
+                lambda nid: f"{ops[nid].value}#{nid}",
+            )
+        return self.metrics.result("ordered", completed, results, extra)
+
+    def _run_loop(self) -> bool:
         metrics = self.metrics
         sample = metrics.sample
         nc = self._next_candidates
@@ -165,8 +189,7 @@ class QueuedEngine:
                     self._stall_for_memory()
                     continue
                 if livebox[0] == 0:
-                    completed = True
-                    break
+                    return True
                 self._raise_deadlock()
             sample(fired, livebox[0])
             if metrics.cycles >= max_cycles:
@@ -174,12 +197,63 @@ class QueuedEngine:
                     f"exceeded max_cycles={self.max_cycles}"
                 )
 
-        results = tuple(
-            self._results.get(i) for i in range(self.graph.n_results)
-        )
-        extra = {"queue_depth": self.queue_depth,
-                 "issue_width": self.issue_width}
-        return self.metrics.result("ordered", completed, results, extra)
+    def _run_loop_profiled(self) -> bool:
+        """:meth:`_run_loop` with stall attribution.
+
+        ``width_limited`` here is an approximation: a budget-skipped
+        candidate is only re-checked next cycle, so it may turn out
+        not to have been fireable.
+        """
+        prof = self._profiler
+        end_cycle = prof.end_cycle
+        fire_rec = prof.fire
+        metrics = self.metrics
+        sample = metrics.sample
+        nc = self._next_candidates
+        nc_add = nc.add
+        fresh = self._fresh
+        livebox = self._livebox
+        try_fns = self._try_fire_fns
+        issue_width = self.issue_width
+        max_cycles = self.max_cycles
+        while True:
+            candidates = sorted(nc)
+            nc.clear()
+            fresh.clear()
+            if self._inflight:
+                self._deliver_memory_responses()
+            fired = 0
+            budget = issue_width
+            width_limited = False
+            for nid in candidates:
+                if budget == 0:
+                    nc_add(nid)
+                    width_limited = True
+                elif try_fns[nid]():
+                    fired += 1
+                    budget -= 1
+                    nc_add(nid)
+                    fire_rec(nid)
+            if fired == 0 and not nc:
+                if self._inflight:
+                    before = metrics.cycles
+                    self._stall_for_memory()
+                    prof.idle("memory_stall", metrics.cycles - before)
+                    continue
+                if livebox[0] == 0:
+                    return True
+                self._raise_deadlock()
+            sample(fired, livebox[0])
+            if fired:
+                end_cycle("width_limited" if width_limited else "fired")
+            elif self._inflight:
+                end_cycle("memory_stall")
+            else:
+                end_cycle("waiting_operands")
+            if metrics.cycles >= max_cycles:
+                raise SimulationError(
+                    f"exceeded max_cycles={self.max_cycles}"
+                )
 
     def _stall_for_memory(self) -> None:
         """Idle until the earliest in-flight load response matures.

@@ -34,6 +34,7 @@ from repro.ir.ops import OP_INFO, Op
 from repro.sim.latency import load_delay
 from repro.sim.memory import Memory
 from repro.sim.metrics import ExecutionResult, MetricsRecorder
+from repro.sim.profile import EngineProfiler
 from repro.sim.tagged.deadlock import DeadlockDiagnosis, PendingAllocation
 from repro.sim.tagged.trace import ExecutionTrace
 from repro.sim.tagged.tagspace import PoolStats, TagPolicy, TagPool
@@ -79,7 +80,8 @@ class TaggedEngine:
                  track_occupancy: bool = False,
                  record_trace: bool = False,
                  load_latency: int = 1,
-                 max_cycles: int = 50_000_000):
+                 max_cycles: int = 50_000_000,
+                 profile: bool = False):
         self.graph = graph
         self.memory = memory
         self.policy = policy
@@ -87,6 +89,10 @@ class TaggedEngine:
         self.load_latency = load_latency
         self.max_cycles = max_cycles
         self.metrics = MetricsRecorder(sample_traces=sample_traces)
+        #: Opt-in stall/hotspot attribution; ``run`` selects a
+        #: profiled cycle loop iff this is set, so the default path
+        #: carries no profiling branches.
+        self._profiler = EngineProfiler() if profile else None
 
         self.pools: Dict[str, TagPool] = policy.build_pools(
             graph.blocks, graph.tag_overrides
@@ -236,36 +242,10 @@ class TaggedEngine:
                 self._livebox[0] += 1
         self._apply_pending()
 
-        completed = False
-        metrics = self.metrics
-        sample = metrics.sample
-        ready = self._ready
-        livebox = self._livebox
-        run_cycle = self._run_cycle
-        token_bound = self._token_bound
-        max_cycles = self.max_cycles
-        while True:
-            if not ready:
-                if self._delayed:
-                    # Memory in flight: burn cycles until it returns.
-                    self._stall_for_memory()
-                    continue
-                if self._is_finished():
-                    completed = True
-                    break
-                self._raise_deadlock()
-            fired = run_cycle()
-            sample(fired, livebox[0])
-            if (token_bound is not None
-                    and livebox[0] > token_bound):
-                raise TokenBoundExceeded(
-                    f"live tokens {livebox[0]} exceed Theorem 2 bound "
-                    f"{token_bound}"
-                )
-            if metrics.cycles >= max_cycles:
-                raise SimulationError(
-                    f"exceeded max_cycles={self.max_cycles}"
-                )
+        if self._profiler is None:
+            completed = self._run_loop()
+        else:
+            completed = self._run_loop_profiled()
 
         results = tuple(
             self._results.get(i)
@@ -284,7 +264,96 @@ class TaggedEngine:
                 p.in_use for p in self._unique_pools
             ),
         }
+        if self._profiler is not None:
+            op = self._op
+            block = self._block
+            extra["profile"] = self._profiler.finish(
+                "tagged", self.metrics.cycles,
+                self.metrics.instructions,
+                lambda nid: f"{op[nid].value}@{block[nid]}#{nid}",
+            )
         return self.metrics.result("tagged", completed, results, extra)
+
+    def _run_loop(self) -> bool:
+        """The default (unprofiled) cycle loop."""
+        metrics = self.metrics
+        sample = metrics.sample
+        ready = self._ready
+        livebox = self._livebox
+        run_cycle = self._run_cycle
+        token_bound = self._token_bound
+        max_cycles = self.max_cycles
+        while True:
+            if not ready:
+                if self._delayed:
+                    # Memory in flight: burn cycles until it returns.
+                    self._stall_for_memory()
+                    continue
+                if self._is_finished():
+                    return True
+                self._raise_deadlock()
+            fired = run_cycle()
+            sample(fired, livebox[0])
+            if (token_bound is not None
+                    and livebox[0] > token_bound):
+                raise TokenBoundExceeded(
+                    f"live tokens {livebox[0]} exceed Theorem 2 bound "
+                    f"{token_bound}"
+                )
+            if metrics.cycles >= max_cycles:
+                raise SimulationError(
+                    f"exceeded max_cycles={self.max_cycles}"
+                )
+
+    def _run_loop_profiled(self) -> bool:
+        """The cycle loop with stall/hotspot attribution.
+
+        Identical timing and semantics to :meth:`_run_loop` (the
+        profiler only observes); every ``sample`` pairs with exactly
+        one ``end_cycle`` and every ``sample_idle`` batch with one
+        ``idle``, which is what makes the reason counts sum to
+        ``cycles``.
+        """
+        prof = self._profiler
+        end_cycle = prof.end_cycle
+        metrics = self.metrics
+        sample = metrics.sample
+        ready = self._ready
+        livebox = self._livebox
+        run_cycle = self._run_cycle_profiled
+        token_bound = self._token_bound
+        max_cycles = self.max_cycles
+        while True:
+            if not ready:
+                if self._delayed:
+                    before = metrics.cycles
+                    self._stall_for_memory()
+                    prof.idle("memory_stall", metrics.cycles - before)
+                    continue
+                if self._is_finished():
+                    return True
+                self._raise_deadlock()
+            fired, width_limited, tag_blocked = run_cycle()
+            sample(fired, livebox[0])
+            if fired:
+                end_cycle("width_limited" if width_limited
+                          else "fired")
+            elif tag_blocked:
+                end_cycle("tag_starved")
+            elif livebox[0] > 0 or self._pending or self._delayed:
+                end_cycle("waiting_operands")
+            else:
+                end_cycle("idle")
+            if (token_bound is not None
+                    and livebox[0] > token_bound):
+                raise TokenBoundExceeded(
+                    f"live tokens {livebox[0]} exceed Theorem 2 bound "
+                    f"{token_bound}"
+                )
+            if metrics.cycles >= max_cycles:
+                raise SimulationError(
+                    f"exceeded max_cycles={self.max_cycles}"
+                )
 
     def _stall_for_memory(self) -> None:
         """Idle until the earliest in-flight load response matures.
@@ -364,6 +433,44 @@ class TaggedEngine:
                 budget -= 1
         self._apply_pending()
         return fired
+
+    def _run_cycle_profiled(self) -> Tuple[int, bool, bool]:
+        """:meth:`_run_cycle` plus attribution signals.
+
+        Returns ``(fired, width_limited, tag_blocked)``:
+        ``width_limited`` when ready work remained after the issue
+        budget ran out, ``tag_blocked`` when an allocate pop failed on
+        an exhausted tag pool this cycle.
+        """
+        prof_fire = self._profiler.fire
+        fired = 0
+        budget = self.issue_width
+        ready = self._ready
+        popleft = ready.popleft
+        fire_fns = self._fire_fns
+        tag_blocked = False
+        while ready and budget > 0:
+            nid, tag, action = popleft()
+            if action == _FIRE:
+                fire_fns[nid](tag)
+                fired += 1
+                budget -= 1
+                prof_fire(nid)
+            elif action == _ALLOC_POP:
+                if self._fire_alloc_pop(nid, tag):
+                    fired += 1
+                    budget -= 1
+                    prof_fire(nid)
+                else:
+                    tag_blocked = True
+            else:  # _ALLOC_CTL
+                self._fire_alloc_ctl(nid, tag)
+                fired += 1
+                budget -= 1
+                prof_fire(nid)
+        width_limited = budget == 0 and bool(ready)
+        self._apply_pending()
+        return fired, width_limited, tag_blocked
 
     def _apply_pending(self) -> None:
         matured = self._delayed.pop(self.metrics.cycles, None)

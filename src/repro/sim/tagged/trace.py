@@ -10,8 +10,14 @@ and :func:`to_dot` / :func:`parallelism_profile` render it.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
+
+
+def _dot_escape(text: str) -> str:
+    """Escape a value for a double-quoted Graphviz string."""
+    return text.replace("\\", "\\\\").replace('"', '\\"')
 
 
 @dataclass
@@ -33,6 +39,10 @@ class ExecutionTrace:
     events: List[TraceEvent] = field(default_factory=list)
     #: (producer event, consumer event) token-flow edges.
     edges: List[Tuple[int, int]] = field(default_factory=list)
+    #: Lazy (n_edges, sorted producer cycles, sorted consumer cycles)
+    #: for :meth:`live_cut`; rebuilt when edges have been appended.
+    _cut_index: Optional[Tuple[int, List[int], List[int]]] = field(
+        default=None, repr=False, compare=False)
 
     def record(self, cycle: int, node_id: int, block: str, op: str,
                tag: object, input_sources: Dict[int, int]) -> int:
@@ -61,13 +71,29 @@ class ExecutionTrace:
 
     def live_cut(self, cycle: int) -> int:
         """Token edges crossing the vertical cut at ``cycle`` (the
-        paper's definition of live state at an instant)."""
-        by_id = self.events
-        count = 0
-        for src, dst in self.edges:
-            if by_id[src].cycle <= cycle < by_id[dst].cycle:
-                count += 1
-        return count
+        paper's definition of live state at an instant).
+
+        An edge crosses the cut at ``cycle`` iff it was produced at or
+        before ``cycle`` and consumed at or after it -- a token
+        consumed at cycle *c* still crosses the cut at *c* (it is live
+        until its consumer fires).
+
+        Figure drivers sweep this over every cycle, so the edge
+        endpoints are pre-sorted once per trace: each query is two
+        bisections, O(log E), instead of a full edge rescan.
+        """
+        index = self._cut_index
+        if index is None or index[0] != len(self.edges):
+            by_id = self.events
+            starts = sorted(by_id[src].cycle for src, _ in self.edges)
+            ends = sorted(by_id[dst].cycle for _, dst in self.edges)
+            index = (len(self.edges), starts, ends)
+            self._cut_index = index
+        _, starts, ends = index
+        # produced at or before `cycle`, minus consumed strictly
+        # before it (consumed-before implies produced-before, so the
+        # difference is exactly the crossing count).
+        return bisect_right(starts, cycle) - bisect_left(ends, cycle)
 
     def to_dot(self, max_events: int = 2000) -> str:
         """Graphviz rendering: columns are cycles, colors are
@@ -91,7 +117,11 @@ class ExecutionTrace:
             lines.append("  { rank=same; "
                          f'"c{cycle}" [shape=plaintext, label="t={cycle}"];')
             for e in by_cycle[cycle]:
-                label = f"{e.op}\\n{e.block}#{e.tag}"
+                # Escape op/block/tag: a `"` or `\` in any of them
+                # would otherwise break out of the quoted label.
+                label = (f"{_dot_escape(e.op)}\\n"
+                         f"{_dot_escape(e.block)}"
+                         f"#{_dot_escape(str(e.tag))}")
                 lines.append(
                     f'    e{e.event_id} [label="{label}", '
                     f'fillcolor={color[e.block]}];'

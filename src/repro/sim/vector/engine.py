@@ -41,6 +41,7 @@ from repro.ir.program import BlockKind, ContextProgram
 from repro.sim.latency import load_delay
 from repro.sim.memory import Memory
 from repro.sim.metrics import ExecutionResult, MetricsRecorder
+from repro.sim.profile import EngineProfiler
 from repro.sim.vector.analysis import VectorInfo, classify_loop
 from repro.sim.vector.plan import (
     VecBlockPlan,
@@ -60,7 +61,8 @@ class DataParallelEngine:
     def __init__(self, program: ContextProgram, memory: Memory,
                  lanes: int = 128, sample_traces: bool = True,
                  load_latency: int = 1,
-                 max_cycles: int = 500_000_000):
+                 max_cycles: int = 500_000_000,
+                 profile: bool = False):
         if lanes < 1:
             raise SimulationError("lanes must be >= 1")
         self.program = program
@@ -72,6 +74,11 @@ class DataParallelEngine:
         self.load_latency = load_latency
         self.max_cycles = max_cycles
         self.metrics = MetricsRecorder(sample_traces=sample_traces)
+        # Must be set before the closure compilation below: ticked
+        # step closures bind either the plain or the profiled tick at
+        # construction, so the default path carries no profiling
+        # branches.
+        self._profiler = EngineProfiler() if profile else None
         self.vector_info: Dict[str, Optional[VectorInfo]] = {
             name: classify_loop(block)
             for name, block in program.blocks.items()
@@ -91,10 +98,10 @@ class DataParallelEngine:
         self._silent: Dict[str, Tuple[Callable, ...]] = {}
         for name, plan in self.plans.items():
             self._ticked[name] = self._compile_items(
-                plan.items, ticked=True)
+                plan.items, ticked=True, block=name)
             if self.vector_info.get(name) is not None:
                 self._silent[name] = self._compile_items(
-                    plan.items, ticked=False)
+                    plan.items, ticked=False, block=name)
 
     # ------------------------------------------------------------------
     def run(self, args: List[object]) -> ExecutionResult:
@@ -113,6 +120,11 @@ class DataParallelEngine:
                 if info is not None
             ),
         }
+        if self._profiler is not None:
+            extra["profile"] = self._profiler.finish(
+                "datapar", self.metrics.cycles,
+                self.metrics.instructions,
+            )
         return self.metrics.result("datapar", True, tuple(results),
                                    extra)
 
@@ -146,15 +158,38 @@ class DataParallelEngine:
     # ------------------------------------------------------------------
     # Per-op step closures
     # ------------------------------------------------------------------
-    def _compile_items(self, items: Tuple, ticked: bool
+    def _compile_items(self, items: Tuple, ticked: bool, block: str
                        ) -> Tuple[Callable, ...]:
-        return tuple(self._make_step(item, ticked) for item in items)
+        return tuple(self._make_step(item, ticked, block)
+                     for item in items)
 
-    def _make_step(self, item, ticked: bool) -> Callable:
+    def _op_tick(self, op: Op, op_id: int, block: str) -> Callable:
+        """The metrics tick a ticked step closure binds: the plain
+        recorder, or a per-op profiled wrapper (fired samples are
+        ``fired`` cycles of this static op; zero-fired samples only
+        occur inside a load's latency spin, hence ``memory_stall``)."""
+        if self._profiler is None:
+            return self._tick
+        prof = self._profiler
+        base = self._tick
+        key = f"{op.value}@{block}#{op_id}"
+
+        def tick_profiled(fired, live):
+            base(fired, live)
+            if fired:
+                prof.fire(key)
+                prof.end_cycle("fired")
+            else:
+                prof.end_cycle("memory_stall")
+        return tick_profiled
+
+    def _make_step(self, item, ticked: bool, block: str) -> Callable:
         if isinstance(item, VecIf):
             decider = item.decider_slot
-            then_steps = self._compile_items(item.then_items, ticked)
-            else_steps = self._compile_items(item.else_items, ticked)
+            then_steps = self._compile_items(item.then_items, ticked,
+                                             block)
+            else_steps = self._compile_items(item.else_items, ticked,
+                                             block)
 
             def step_if(env):
                 for step in (then_steps if env[decider]
@@ -170,7 +205,8 @@ class DataParallelEngine:
         if op is Op.SPAWN:
             return self._make_spawn_step(item, ticked)
 
-        tick = self._tick
+        tick = self._op_tick(op, item.op_id, block) if ticked \
+            else self._tick
         live = self._scalar_live
 
         if op is Op.LOAD:
@@ -367,17 +403,44 @@ class DataParallelEngine:
         remaining = iterations
         n_reductions = sum(1 for r in info.roles
                            if r.kind == "reduction")
+        prof = self._profiler
+        if prof is None:
+            while remaining > 0:
+                active = min(remaining, self.lanes)
+                live = active * max(2, body // 2)
+                for _ in range(body):
+                    self._tick(active, live)
+                remaining -= active
+            # Reduction tree across lanes per reduction carry.
+            if n_reductions and iterations > 1:
+                depth = max(1, math.ceil(math.log2(min(iterations,
+                                                       self.lanes))))
+                for _ in range(depth * n_reductions):
+                    self._tick(min(iterations, self.lanes) // 2 or 1,
+                               min(iterations, self.lanes))
+            return results
+
+        # Profiled twin: the body is attributed to one aggregate
+        # static node per loop (lanes co-issue the same op).  A batch
+        # with iterations left over was limited by the lane count.
+        key = f"<vector-body>@{plan.name}"
         while remaining > 0:
             active = min(remaining, self.lanes)
             live = active * max(2, body // 2)
+            reason = ("width_limited" if remaining > self.lanes
+                      else "fired")
             for _ in range(body):
+                prof.fire_n(key, active)
                 self._tick(active, live)
+                prof.end_cycle(reason)
             remaining -= active
-        # Reduction tree across lanes per reduction carry.
         if n_reductions and iterations > 1:
+            rkey = f"<reduce>@{plan.name}"
             depth = max(1, math.ceil(math.log2(min(iterations,
                                                    self.lanes))))
+            f = min(iterations, self.lanes) // 2 or 1
             for _ in range(depth * n_reductions):
-                self._tick(min(iterations, self.lanes) // 2 or 1,
-                           min(iterations, self.lanes))
+                prof.fire_n(rkey, f)
+                self._tick(f, min(iterations, self.lanes))
+                prof.end_cycle("fired")
         return results

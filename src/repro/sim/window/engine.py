@@ -41,6 +41,7 @@ from repro.ir.program import BlockKind, ContextProgram
 from repro.sim.latency import load_delay
 from repro.sim.memory import Memory
 from repro.sim.metrics import ExecutionResult, MetricsRecorder
+from repro.sim.profile import EngineProfiler
 from repro.sim.window.plan import (
     BlockPlan,
     Key,
@@ -108,7 +109,8 @@ class WindowEngine:
                  sample_traces: bool = True,
                  load_latency: int = 1,
                  max_cycles: int = 500_000_000,
-                 machine_name: Optional[str] = None):
+                 machine_name: Optional[str] = None,
+                 profile: bool = False):
         if window < 1:
             raise SimulationError("window must be >= 1")
         self.program = program
@@ -122,6 +124,9 @@ class WindowEngine:
             "vn" if window == 1 and issue_width == 1 else "seqdf"
         )
         self.metrics = MetricsRecorder(sample_traces=sample_traces)
+        # run() selects the profiled cycle loop only when set, so the
+        # default path has no per-cycle profiling branches.
+        self._profiler = EngineProfiler() if profile else None
         self.plans = build_plans(program)
 
         self._next_iid = 0
@@ -179,6 +184,33 @@ class WindowEngine:
         self._register_results(root)
         self._stack.append([root, 0])
 
+        if self._profiler is None:
+            completed = self._run_loop()
+        else:
+            completed = self._run_loop_profiled()
+
+        results = tuple(
+            self._program_results.get(i)
+            for i in range(self._n_program_results)
+        )
+        extra = {"window": self.window, "issue_width": self.issue_width,
+                 "fetch_width": self.fetch_width,
+                 "fetch_stall_decider_cycles": self._stall_decider,
+                 "fetch_stall_window_cycles": self._stall_window}
+        if self._profiler is not None:
+            extra["profile"] = self._profiler.finish(
+                self.machine_name, self.metrics.cycles,
+                self.metrics.instructions, self._node_label,
+            )
+        return self.metrics.result(self.machine_name, completed, results,
+                                   extra)
+
+    def _node_label(self, key: Tuple[str, int]) -> str:
+        block, op_id = key
+        p = self.plans[block].ops[op_id]
+        return f"{p.op.value}@{block}#{op_id}"
+
+    def _run_loop(self) -> bool:
         # The cycle loop is fully inlined (issue, retire, fetch,
         # deposit, metrics sampling): window machines fire ~1
         # instruction per cycle (vN literally so), which makes
@@ -335,17 +367,133 @@ class WindowEngine:
             metrics.instructions = instructions
             metrics._peak_live = peak_live
             metrics._live_sum = live_sum
+        return completed
 
-        results = tuple(
-            self._program_results.get(i)
-            for i in range(self._n_program_results)
-        )
-        extra = {"window": self.window, "issue_width": self.issue_width,
-                 "fetch_width": self.fetch_width,
-                 "fetch_stall_decider_cycles": self._stall_decider,
-                 "fetch_stall_window_cycles": self._stall_window}
-        return self.metrics.result(self.machine_name, completed, results,
-                                   extra)
+    def _run_loop_profiled(self) -> bool:
+        """:meth:`_run_loop` with stall attribution.
+
+        Samples through :class:`MetricsRecorder` directly instead of
+        the locals-accumulation fast path; cycle/instruction totals
+        are identical, only host speed differs.
+        """
+        prof = self._profiler
+        end_cycle = prof.end_cycle
+        fire_rec = prof.fire
+        metrics = self.metrics
+        sample = metrics.sample
+        livebox = self._livebox
+        ready = self._ready
+        popleft = ready.popleft
+        ready_append = ready.append
+        pending = self._pending
+        retire = self._retire
+        retire_popleft = retire.popleft
+        delayed = self._delayed
+        fetch = self._fetch
+        publish = self._publish
+        status = self._op_status
+        maybe_release = self._maybe_release
+        issue_width = self.issue_width
+        fetch_width = self.fetch_width
+        max_cycles = self.max_cycles
+        while True:
+            # Issue: fire ready ops up to the shared width.
+            fired = 0
+            width_limited = False
+            if ready:
+                budget = issue_width
+                while ready and budget > 0:
+                    inst, op_id = popleft()
+                    inst.fires[op_id](inst)
+                    fired += 1
+                    budget -= 1
+                    fire_rec((inst.plan.name, op_id))
+                width_limited = budget == 0 and bool(ready)
+            # Retire completed head-of-window slices, in fetch order.
+            progressed = False
+            while retire:
+                entry = retire[0]
+                inst = entry[0]
+                ops = entry[1]
+                pos = entry[2]
+                n = len(ops)
+                fired_set = inst.fired
+                while pos < n:
+                    oid = ops[pos]
+                    if oid in fired_set:
+                        pos += 1
+                        continue
+                    if (not inst.plan.guarded[oid]
+                            or status(inst, oid) == "pending"):
+                        break
+                    pos += 1  # guard resolved untaken
+                if pos < n:
+                    entry[2] = pos
+                    break
+                retire_popleft()
+                inst.live_slices -= 1
+                progressed = True
+                maybe_release(inst)
+            # Fetch along the von Neumann block order.
+            fc = fetch_width
+            while fc:
+                if not fetch():
+                    break
+                progressed = True
+                fc -= 1
+            # Deposit: matured loads, then this cycle's tokens.
+            if delayed:
+                matured = delayed.pop(metrics.cycles, None)
+                if matured:
+                    for inst, key, value in matured:
+                        publish(inst, key, value)
+            if pending:
+                for inst, c, value in pending:
+                    op_id = c[0]
+                    wait = inst.wait
+                    entry = wait.get(op_id)
+                    if entry is None:
+                        wait[op_id] = entry = {c[1]: value}
+                        n_have = 1
+                    else:
+                        entry[c[1]] = value
+                        n_have = len(entry)
+                    if c[2]:  # DEP_MERGE
+                        if 0 not in entry:
+                            continue
+                        want = 1 if entry[0] else 2
+                        if want not in entry and not c[5][want - 1]:
+                            continue
+                    elif n_have != c[3]:
+                        continue
+                    if c[4] in inst.fetched:
+                        ready_append((inst, op_id))
+                    else:
+                        inst.armed.add(op_id)
+                del pending[:]
+            if fired == 0 and not progressed and not ready:
+                if delayed:
+                    # Idle cycle waiting on in-flight loads (the fast
+                    # loop skips the max_cycles check here; mirror it).
+                    sample(0, livebox[0])
+                    end_cycle("memory_stall")
+                    continue
+                if self._is_finished():
+                    return True
+                self._raise_deadlock()
+            sample(fired, livebox[0])
+            if fired:
+                end_cycle("width_limited" if width_limited else "fired")
+            elif delayed:
+                end_cycle("memory_stall")
+            elif livebox[0] > 0:
+                end_cycle("waiting_operands")
+            else:
+                end_cycle("idle")
+            if metrics.cycles >= max_cycles:
+                raise SimulationError(
+                    f"exceeded max_cycles={self.max_cycles}"
+                )
 
     def _is_finished(self) -> bool:
         return (not self._stack and not self._retire

@@ -90,6 +90,25 @@ def test_trace_command(capsys, tmp_path):
     assert "rank=same" in dot.read_text()
 
 
+def test_profile_command(capsys):
+    assert main(["profile", "dmv", "-m", "tyr", "--top", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "cycles by stall reason" in out
+    assert "fired" in out
+    assert "top 5 nodes by attributed cycles" in out
+    assert "@main" in out  # op@block#id hotspot labels
+
+
+def test_profile_command_json(capsys):
+    import json
+
+    assert main(["profile", "dmv", "-m", "tyr", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["machine"] == "tyr"
+    assert sum(doc["stall_cycles"].values()) == doc["cycles"]
+    assert sum(doc["node_fired"].values()) == doc["instructions"]
+
+
 def test_bad_workload_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["run", "nope"])

@@ -70,3 +70,30 @@ def test_progress_line_close_is_idempotent():
     progress.close()
     progress.close()
     assert stream.getvalue().count("\n") == 1
+
+
+def test_run_log_records_profile_summaries(tmp_path):
+    """A sweep whose specs run with profile=True logs one compact
+    profile event per finished run."""
+    from repro.harness.pool import RunOptions, run_specs, spec_for
+    from repro.workloads import build_workload
+
+    wl = build_workload("dmv", "tiny")
+    spec = spec_for(wl, "tyr", config={"profile": True})
+    path = str(tmp_path / "log.jsonl")
+    results = run_specs([spec], jobs=1,
+                        options=RunOptions(run_log=path))
+    assert "profile" in results[0].extra
+
+    with open(path) as fh:
+        events = [json.loads(line) for line in fh]
+    profiles = [ev for ev in events if ev["event"] == "profile"]
+    assert len(profiles) == 1
+    ev = profiles[0]
+    assert ev["cycles"] == results[0].cycles
+    assert ev["instructions"] == results[0].instructions
+    assert sum(ev["stall_cycles"].values()) == ev["cycles"]
+    assert ev["top_nodes"]
+    # The profile event follows its spec's finished event.
+    kinds = [e["event"] for e in events]
+    assert kinds.index("profile") == kinds.index("finished") + 1

@@ -126,6 +126,36 @@ def test_derived_statistics_match_reference(events):
 
 @given(events=_EVENTS)
 @_SETTINGS
+def test_untraced_recorder_matches_per_cycle_equivalent(events):
+    """With ``sample_traces=False``, any interleaving of ``sample`` /
+    ``sample_idle`` must produce the same ``cycles`` /
+    ``instructions`` and the same ``peak_live`` / ``mean_live``
+    extras as the fully-expanded per-cycle ``sample`` replay."""
+    untraced = MetricsRecorder(sample_traces=False)
+    expanded = MetricsRecorder(sample_traces=True)
+    for kind, a, b in events:
+        if kind == "sample":
+            untraced.sample(a, b)
+            expanded.sample(a, b)
+        else:
+            untraced.sample_idle(a, b)
+            for _ in range(b):
+                expanded.sample(0, a)
+    assert untraced.cycles == expanded.cycles
+    assert untraced.instructions == expanded.instructions
+    assert untraced.peak_live == expanded.peak_live
+    assert untraced.mean_live == expanded.mean_live
+    # The untraced recorder records no traces but surfaces the
+    # aggregates through result extras.
+    res = untraced.result("test", True, ())
+    assert len(res.ipc_trace) == 0
+    assert len(res.live_trace) == 0
+    assert res.extra["peak_live"] == expanded.peak_live
+    assert res.extra["mean_live"] == expanded.mean_live
+
+
+@given(events=_EVENTS)
+@_SETTINGS
 def test_pickle_round_trip_and_size(events):
     rle, ref = _replay(events)
     blob = pickle.dumps(rle.live_trace,

@@ -58,7 +58,10 @@ def test_live_cut_tracks_live_trace():
     """The number of edges crossing a cycle cut approximates the
     engine's live-token count at that cycle (the paper's definition).
     It is a slight under-approximation: discarded tokens and allocate
-    request/ready tokens do not become trace edges."""
+    request/ready tokens do not become trace edges. The cut includes
+    tokens consumed *at* the cycle (still crossing), which the
+    engine's end-of-cycle live count no longer holds; subtract them
+    before comparing."""
     cw = CompiledWorkload(lower_module(sum_loop_module()))
     engine = TaggedEngine(cw.tagged, Memory(), TyrPolicy(4),
                           record_trace=True)
@@ -66,8 +69,44 @@ def test_live_cut_tracks_live_trace():
     trace = engine.trace
     for cycle in (2, 5, 10):
         cut = trace.live_cut(cycle)
+        consumed_at = sum(
+            1 for _, dst in trace.edges
+            if trace.events[dst].cycle == cycle
+        )
         live = result.live_trace[cycle]
-        assert abs(cut - live) <= 2
+        assert abs(cut - consumed_at - live) <= 2
+
+
+def _hand_built_trace():
+    from repro.sim.tagged.trace import ExecutionTrace
+
+    trace = ExecutionTrace()
+    e0 = trace.record(0, 0, "main", "const", 0, {})
+    e1 = trace.record(2, 1, "main", "add", 0, {0: e0})
+    trace.record(5, 2, "main", "free", 0, {0: e1})
+    return trace
+
+
+def test_live_cut_hand_built_semantics():
+    """Pin the paper's cut definition: an edge produced at s and
+    consumed at d crosses every cut in [s, d] -- inclusive of the
+    consuming cycle."""
+    trace = _hand_built_trace()
+    # e0->e1 spans [0, 2]; e1->e2 spans [2, 5].
+    assert trace.live_cut(0) == 1
+    assert trace.live_cut(1) == 1
+    assert trace.live_cut(2) == 2  # consumed at 2 still crosses
+    assert trace.live_cut(3) == 1
+    assert trace.live_cut(5) == 1  # consumed at 5 still crosses
+    assert trace.live_cut(6) == 0
+
+
+def test_live_cut_index_invalidated_on_append():
+    trace = _hand_built_trace()
+    assert trace.live_cut(3) == 1  # builds the sorted index
+    e3 = trace.record(3, 3, "main", "const", 0, {})
+    trace.record(4, 4, "main", "free", 0, {0: e3})
+    assert trace.live_cut(3) == 2  # new e3->e4 edge crosses at 3
 
 
 def test_dot_rendering():
@@ -78,6 +117,28 @@ def test_dot_rendering():
     assert "->" in dot
     with pytest.raises(ValueError, match="too large"):
         trace.to_dot(max_events=1)
+
+
+def test_dot_escapes_quotes_and_backslashes():
+    """Op/block/tag values containing `"` or `\\` must not break out
+    of the quoted Graphviz label."""
+    from repro.sim.tagged.trace import ExecutionTrace
+
+    trace = ExecutionTrace()
+    trace.record(0, 0, 'say "hi"', 'op\\inject', '"t"', {})
+    dot = trace.to_dot()
+    assert 'say \\"hi\\"' in dot
+    assert "op\\\\inject" in dot
+    assert '#\\"t\\"' in dot
+    # Every label attribute stays a single quoted string: the line
+    # must keep the exact form  [label="...", fillcolor=...];
+    for line in dot.splitlines():
+        if "label=" in line and "fillcolor" in line:
+            body = line.split('label="', 1)[1]
+            label = body.split('", fillcolor=', 1)[0]
+            # No unescaped quote inside the label body.
+            stripped = label.replace("\\\\", "").replace('\\"', "")
+            assert '"' not in stripped
 
 
 def test_events_carry_block_and_tag():

@@ -77,3 +77,13 @@ def test_package_docstring_quickstart():
     for machine in PAPER_SYSTEMS:
         result = wl.run_checked(machine)
         assert "cycles" in result.summary()
+
+
+def test_tutorial_profile_api():
+    from repro import build_workload
+
+    wl = build_workload("dmv", "tiny")
+    res = wl.run("tyr", profile=True)[0]
+    prof = res.extra["profile"]
+    assert sum(c for _, c in prof.stall_breakdown()) == res.cycles
+    assert len(prof.top_nodes(5)) == 5
