@@ -66,7 +66,8 @@ def _cmd_experiment(args) -> int:
         names = [args.name]
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     options = RunOptions(timeout=args.timeout, retries=args.retries,
-                         run_log=args.run_log, progress=args.progress)
+                         run_log=args.run_log, progress=args.progress,
+                         codegen=not args.no_codegen)
     for name in names:
         start = time.time()
         report = get_experiment(name)(scale=args.scale,
@@ -207,6 +208,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="append one JSON event per spec "
                             "(queued/cache-hit/started/finished/"
                             "retried/timed-out) to FILE")
+    exp_p.add_argument("--no-codegen", action="store_true",
+                       help="run the closure interpreters instead of "
+                            "the generated plan kernels (identical "
+                            "metrics; slower host speed)")
     exp_p.add_argument("--progress", action="store_true",
                        help="live done/total, cache-hit rate, and ETA "
                             "line on stderr")

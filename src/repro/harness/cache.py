@@ -48,8 +48,11 @@ CACHE_VERSION = 3
 #: Version of the *compiled-plan* cache (:class:`CompileCache`). Bump
 #: when :func:`repro.compiler.elaborate.elaborate` /
 #: :func:`repro.compiler.flatten.flatten` change their output for the
-#: same input program.
-PLAN_VERSION = 1
+#: same input program, or when the generated plan kernels
+#: (:mod:`repro.sim.codegen`, stored as ``kernels-<family>`` kinds)
+#: change shape.
+#: v2: generated kernel artifacts added alongside the lowered graphs.
+PLAN_VERSION = 2
 
 DEFAULT_ROOT = ".repro-cache"
 

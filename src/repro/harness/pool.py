@@ -54,7 +54,7 @@ import sys
 import time
 import traceback
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
 
 from repro.errors import (
@@ -67,7 +67,7 @@ from repro.errors import (
 )
 from repro.harness.cache import CompileCache, ResultCache, result_key
 from repro.harness.runlog import ProgressLine, RunLog
-from repro.harness.runner import _TAGGED_MACHINES
+from repro.harness.runner import _TAGGED_MACHINES, KERNEL_FAMILY
 from repro.sim.metrics import ExecutionResult
 from repro.workloads.registry import WorkloadInstance, build_workload
 
@@ -86,6 +86,11 @@ class RunSpec:
     config: Tuple[Tuple[str, object], ...]
     #: Verify memory/results against the numpy oracle after the run.
     check: bool = True
+    #: Dispatch through generated plan kernels (repro.sim.codegen).
+    #: Deliberately NOT part of :func:`cache_key` (which hashes only
+    #: the config): codegen is bit-identical to the interpreter, so a
+    #: cached result is valid for either setting.
+    codegen: bool = True
 
     def describe(self) -> str:
         cfg = ", ".join(f"{k}={v}" for k, v in self.config)
@@ -224,12 +229,20 @@ def precompile_specs(specs: Sequence[RunSpec],
             ensure(compiled, "tagged", "tagged")
         elif spec.machine == "ordered":
             ensure(compiled, "flat", "flat")
+        # Generated kernels: compile (or load from the store) in the
+        # parent so forked workers inherit the warm module through
+        # copy-on-write instead of each re-exec'ing the source.
+        if spec.codegen:
+            family = KERNEL_FAMILY.get(spec.machine)
+            if family is not None:
+                compiled.kernels(family)
 
 
 def run_one(spec: RunSpec) -> ExecutionResult:
     """Execute one spec; simulation failures carry the spec context."""
     wl = workload_for(spec)
     kwargs = _config_kwargs(spec)
+    kwargs.setdefault("codegen", spec.codegen)
     try:
         if spec.check:
             return wl.run_checked(spec.machine, **kwargs)
@@ -285,12 +298,17 @@ class RunOptions:
     ``progress``
         Render a live ``done/total | cache-hit rate | ETA`` line on
         stderr.
+    ``codegen``
+        ``False`` forces every spec through the closure interpreters
+        (``--no-codegen``); metrics are identical, only host speed
+        differs, so cached results are shared across both settings.
     """
 
     timeout: Optional[float] = None
     retries: int = 1
     run_log: Optional[object] = None
     progress: bool = False
+    codegen: bool = True
 
 
 def _pool_worker(specs: List[RunSpec], tasks, results) -> None:
@@ -532,6 +550,9 @@ def run_specs(specs: Sequence[RunSpec], jobs: int = 1,
     """
     specs = list(specs)
     opts = options or RunOptions()
+    if not opts.codegen:
+        specs = [replace(spec, codegen=False) if spec.codegen else spec
+                 for spec in specs]
     if plan_cache is None and cache is not None:
         plan_cache = CompileCache(os.path.join(cache.root, "plans"))
 

@@ -57,6 +57,19 @@ PAPER_SYSTEMS = ("vn", "seqdf", "ordered", "unordered", "tyr")
 
 _TAGGED_MACHINES = ("unordered", "unordered-bounded", "tyr", "kbounded")
 
+#: machine name -> generated-kernel family (see repro.sim.codegen).
+KERNEL_FAMILY = {
+    "vn": "window",
+    "ooo": "window",
+    "seqdf": "window",
+    "ordered": "flat",
+    "unordered": "tagged",
+    "unordered-bounded": "tagged",
+    "tyr": "tagged",
+    "kbounded": "tagged",
+    "datapar": "vector",
+}
+
 
 class CompiledWorkload:
     """A context program plus lazily compiled machine artifacts.
@@ -74,6 +87,7 @@ class CompiledWorkload:
         self._tagged = None
         self._flat = None
         self._fingerprint: Optional[str] = None
+        self._kernels: Dict[str, object] = {}
         #: Optional :class:`~repro.harness.cache.CompileCache`; when
         #: set, elaboration/flattening first consult the on-disk store
         #: and write back on a miss.
@@ -118,6 +132,37 @@ class CompiledWorkload:
             ).hexdigest()
         return self._fingerprint
 
+    def kernels(self, family: str):
+        """The compiled generated-kernel module for one engine family
+        (memoized; consults ``plan_cache`` under ``kernels-<family>``).
+
+        Generated source is a pure function of the lowered plan, so
+        the artifact is shared exactly like the lowered graphs: cached
+        on disk once, inherited warm by forked sweep workers after
+        ``pool.precompile_specs``.
+        """
+        from repro.sim import codegen
+
+        mod = self._kernels.get(family)
+        if mod is not None:
+            return mod
+        kind = "kernels-" + family
+        if self.plan_cache is not None:
+            artifact = self.plan_cache.get_plan(self.fingerprint, kind)
+            if artifact is not None:
+                mod = codegen.load_kernels(artifact, family,
+                                           self.fingerprint)
+                if mod is not None:
+                    self._kernels[family] = mod
+                    return mod
+        source = codegen.generate_source(family, self)
+        mod = codegen.compile_kernels(source, family, self.fingerprint)
+        if self.plan_cache is not None:
+            self.plan_cache.put_plan(self.fingerprint, kind,
+                                     mod.artifact())
+        self._kernels[family] = mod
+        return mod
+
     def entry_args(self, args: Sequence[object]) -> List[object]:
         """Pad user arguments with zeros for hidden order-token params."""
         full = list(args)
@@ -146,11 +191,18 @@ class CompiledWorkload:
             record_trace: bool = False,
             load_latency: int = 1,
             max_cycles: int = 50_000_000,
-            profile: bool = False) -> ExecutionResult:
+            profile: bool = False,
+            codegen: bool = True) -> ExecutionResult:
         """Run this workload on ``machine`` and return its metrics.
 
         The returned result's declared program outputs are in
         ``result.extra["declared_results"]``.
+
+        ``codegen=True`` (the default) dispatches through the
+        generated plan kernels (:mod:`repro.sim.codegen`); profiled,
+        traced, and occupancy-tracked runs always fall back to the
+        closure interpreters, which carry those hooks.  Metrics are
+        bit-identical either way.
 
         ``max_cycles`` bounds *simulated* cycles, which does not help
         against a slow host or an engine bug that stops the cycle
@@ -160,6 +212,11 @@ class CompiledWorkload:
         process instead.
         """
         full_args = self.entry_args(args)
+        use_codegen = codegen and not (profile or record_trace
+                                       or track_occupancy)
+        kernels = (self.kernels(KERNEL_FAMILY[machine])
+                   if use_codegen and machine in KERNEL_FAMILY
+                   else None)
         if machine in _TAGGED_MACHINES:
             if machine == "unordered":
                 policy = UnboundedGlobalPolicy()
@@ -178,20 +235,21 @@ class CompiledWorkload:
                 load_latency=load_latency,
                 max_cycles=max_cycles,
                 profile=profile,
+                kernels=kernels,
             )
         elif machine == "ordered":
             engine = QueuedEngine(
                 self.flat, memory, queue_depth=queue_depth,
                 issue_width=issue_width, sample_traces=sample_traces,
                 load_latency=load_latency, max_cycles=max_cycles,
-                profile=profile,
+                profile=profile, kernels=kernels,
             )
         elif machine == "vn":
             engine = WindowEngine(
                 self.program, memory, window=1, issue_width=1,
                 sample_traces=sample_traces, load_latency=load_latency,
                 max_cycles=max_cycles, machine_name="vn",
-                profile=profile,
+                profile=profile, kernels=kernels,
             )
         elif machine == "ooo":
             # Out-of-order superscalar approximation (paper Fig. 5b):
@@ -202,7 +260,7 @@ class CompiledWorkload:
                 self.program, memory, window=2, issue_width=4,
                 sample_traces=sample_traces, load_latency=load_latency,
                 max_cycles=max_cycles, machine_name="ooo",
-                profile=profile,
+                profile=profile, kernels=kernels,
             )
         elif machine == "seqdf":
             engine = WindowEngine(
@@ -210,12 +268,14 @@ class CompiledWorkload:
                 issue_width=issue_width, sample_traces=sample_traces,
                 load_latency=load_latency, max_cycles=max_cycles,
                 machine_name="seqdf", profile=profile,
+                kernels=kernels,
             )
         elif machine == "datapar":
             engine = DataParallelEngine(
                 self.program, memory, lanes=issue_width,
                 sample_traces=sample_traces, load_latency=load_latency,
                 max_cycles=max_cycles, profile=profile,
+                kernels=kernels,
             )
         else:
             raise SimulationError(f"unknown machine {machine!r}")

@@ -1,0 +1,244 @@
+"""Shared infrastructure for ahead-of-time plan kernels.
+
+The per-family generators (:mod:`~repro.sim.codegen.tagged`,
+``queued``, ``window``, ``vector``) emit one Python module per lowered
+plan: a flat function per static node's firing rule plus a specialized
+cycle loop. This module holds what they share:
+
+* :class:`Writer` -- tiny indentation-aware source emitter;
+* :func:`safe_literal` / :func:`lit` -- which immediate values may be
+  inlined into source as literals (everything else is bound from the
+  engine's tables at bind time);
+* :func:`pure_expr` -- inline expression templates for the pure
+  opcodes whose :func:`~repro.ir.ops.OP_INFO` evaluators are simple
+  operators (``DIV``/``MOD`` keep their checked evaluator calls);
+* :class:`KernelModule` + :func:`compile_kernels` /
+  :func:`load_kernels` -- compile generated source once per process,
+  pack it into a picklable cache artifact (source + marshalled code
+  object) and restore it, recompiling from source when the marshal
+  payload comes from a different interpreter version.
+
+Generated source is a *pure deterministic function of the lowered
+plan*: no runtime object ever leaks into it. Runtime state (wait
+stores, the pending buffer, memory, tag pools) is bound afterwards by
+calling the module's ``bind_*`` entry points with the live engine, so
+one cached artifact serves every run of the same program. Set
+``TYR_REPRO_DUMP_KERNELS=<dir>`` to dump each generated module to
+``<dir>/<family>-<fingerprint12>.py`` for inspection.
+"""
+
+from __future__ import annotations
+
+import marshal
+import os
+import sys
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.ops import Op
+
+#: Environment variable naming a directory to dump generated source to.
+DUMP_ENV = "TYR_REPRO_DUMP_KERNELS"
+
+#: Kernel families (also the ``CompileCache`` kind suffixes).
+FAMILIES = ("tagged", "flat", "window", "vector")
+
+
+class Writer:
+    """Indentation-aware source accumulator."""
+
+    def __init__(self) -> None:
+        self._lines: List[str] = []
+        self._depth = 0
+
+    def w(self, line: str = "") -> None:
+        if line:
+            self._lines.append("    " * self._depth + line)
+        else:
+            self._lines.append("")
+
+    #: Writers are callable: ``w("line")`` == ``w.w("line")``.
+    __call__ = w
+
+    def indent(self) -> None:
+        self._depth += 1
+
+    def dedent(self) -> None:
+        self._depth -= 1
+
+    def source(self) -> str:
+        return "\n".join(self._lines) + "\n"
+
+
+_SAFE_SCALARS = (bool, int, float, str, bytes, type(None))
+
+
+def safe_literal(value: object) -> bool:
+    """May ``value`` be inlined into generated source via ``repr``?
+
+    Only types whose repr round-trips exactly and cheaply qualify;
+    anything else (pools, route tables, arbitrary objects) is fetched
+    from the engine's tables at bind time instead.
+    """
+    if isinstance(value, _SAFE_SCALARS):
+        return True
+    if isinstance(value, tuple):
+        return all(safe_literal(v) for v in value)
+    if isinstance(value, dict):
+        return all(safe_literal(k) and safe_literal(v)
+                   for k, v in value.items())
+    return False
+
+
+def lit(value: object) -> str:
+    """The source form of a safe literal."""
+    assert safe_literal(value), value
+    return repr(value)
+
+
+#: Inline expression templates for pure opcodes. ``{0}``/``{1}``/``{2}``
+#: are the operand expressions in port order. Each template is exactly
+#: equivalent to the evaluator in :data:`repro.ir.ops._PURE` (e.g.
+#: ``_bool(a < b)`` == ``1 if a < b else 0`` for ints). DIV/MOD are
+#: deliberately absent: their evaluators raise SimulationError on zero
+#: and stay as bound calls.
+_PURE_EXPR: Dict[Op, str] = {
+    Op.ADD: "({0} + {1})",
+    Op.SUB: "({0} - {1})",
+    Op.MUL: "({0} * {1})",
+    Op.SHL: "({0} << {1})",
+    Op.SHR: "({0} >> {1})",
+    Op.BAND: "({0} & {1})",
+    Op.BOR: "({0} | {1})",
+    Op.BXOR: "({0} ^ {1})",
+    Op.NOT: "(0 if {0} else 1)",
+    Op.NEG: "(-{0})",
+    Op.LT: "(1 if {0} < {1} else 0)",
+    Op.LE: "(1 if {0} <= {1} else 0)",
+    Op.GT: "(1 if {0} > {1} else 0)",
+    Op.GE: "(1 if {0} >= {1} else 0)",
+    Op.EQ: "(1 if {0} == {1} else 0)",
+    Op.NE: "(1 if {0} != {1} else 0)",
+    Op.MIN: "min({0}, {1})",
+    Op.MAX: "max({0}, {1})",
+    Op.SELECT: "({1} if {0} else {2})",
+    Op.COPY: "{0}",
+}
+
+
+def pure_expr(op: Op, args: List[str]) -> Optional[str]:
+    """The inline expression for pure ``op`` over operand sources,
+    or None when the op must go through its bound evaluator."""
+    template = _PURE_EXPR.get(op)
+    if template is None:
+        return None
+    return template.format(*args)
+
+
+def module_name(family: str, fingerprint: str) -> str:
+    return f"<kernels:{family}:{fingerprint[:12]}>"
+
+
+def dump_kernel_source(source: str, family: str,
+                       fingerprint: str) -> Optional[str]:
+    """Write generated source to ``$TYR_REPRO_DUMP_KERNELS`` (if set).
+
+    Returns the path written, or None when dumping is disabled.
+    """
+    directory = os.environ.get(DUMP_ENV)
+    if not directory:
+        return None
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory,
+                        f"{family}-{fingerprint[:12]}.py")
+    with open(path, "w") as fh:
+        fh.write(source)
+    return path
+
+
+class KernelModule:
+    """One compiled generated module, ready to bind to engines.
+
+    ``ns`` is the exec'd module namespace; engines call
+    ``ns["bind_fires"](engine)`` (or ``bind_steps`` for the vector
+    family) at construction and dispatch their cycle loop through
+    ``ns["run_loop"]``.
+    """
+
+    __slots__ = ("family", "fingerprint", "source", "code", "ns")
+
+    def __init__(self, family: str, fingerprint: str, source: str,
+                 code) -> None:
+        self.family = family
+        self.fingerprint = fingerprint
+        self.source = source
+        self.code = code
+        self.ns: Dict[str, object] = {
+            "__name__": module_name(family, fingerprint),
+        }
+        exec(code, self.ns)
+
+    def artifact(self) -> Dict[str, object]:
+        """The picklable ``CompileCache`` payload: source of record
+        plus a marshalled code object as a fast path for the same
+        interpreter version."""
+        return {
+            "family": self.family,
+            "source": self.source,
+            "marshal": marshal.dumps(self.code),
+            "python": tuple(sys.version_info[:2]),
+        }
+
+
+#: Per-process memo: (family, fingerprint) -> KernelModule. Forked
+#: sweep workers inherit warm entries from ``pool.precompile_specs``.
+_MODULE_MEMO: Dict[Tuple[str, str], KernelModule] = {}
+
+
+def compile_kernels(source: str, family: str,
+                    fingerprint: str) -> KernelModule:
+    """Compile generated ``source`` into a bindable module (memoized
+    per process)."""
+    key = (family, fingerprint)
+    mod = _MODULE_MEMO.get(key)
+    if mod is None:
+        dump_kernel_source(source, family, fingerprint)
+        code = compile(source, module_name(family, fingerprint),
+                       "exec")
+        mod = KernelModule(family, fingerprint, source, code)
+        _MODULE_MEMO[key] = mod
+    return mod
+
+
+def load_kernels(artifact: Dict[str, object], family: str,
+                 fingerprint: str) -> Optional[KernelModule]:
+    """Restore a cached artifact; None if it is not usable at all.
+
+    The marshalled code object is interpreter-version specific; on any
+    mismatch or corruption the source of record is recompiled instead,
+    so a cache directory can be shared across Python versions.
+    """
+    key = (family, fingerprint)
+    mod = _MODULE_MEMO.get(key)
+    if mod is not None:
+        return mod
+    if not isinstance(artifact, dict):
+        return None
+    source = artifact.get("source")
+    if not isinstance(source, str):
+        return None
+    code = None
+    if artifact.get("python") == tuple(sys.version_info[:2]):
+        try:
+            code = marshal.loads(artifact["marshal"])
+        except (KeyError, ValueError, TypeError, EOFError):
+            code = None
+    try:
+        dump_kernel_source(source, family, fingerprint)
+        if code is None:
+            code = compile(source, module_name(family, fingerprint),
+                           "exec")
+        mod = KernelModule(family, fingerprint, source, code)
+    except (SyntaxError, ValueError, TypeError):
+        return None
+    _MODULE_MEMO[key] = mod
+    return mod

@@ -1,0 +1,641 @@
+"""AOT kernel generator for elaborated tagged graphs.
+
+Emits one module per :class:`~repro.compiler.graph.TaggedGraph` with
+
+* ``bind_fires(E)`` -- one flat function per static node, the exact
+  firing rule of :meth:`TaggedEngine._make_fire` with the operand
+  slots, immediates, output-edge appends and livebox deltas unrolled
+  into straight-line code. Runtime objects (wait-store slots, the
+  pending buffer's ``append``, memory, tag pools) enter as default
+  arguments, so the function body runs on ``LOAD_FAST`` only.
+* ``run_loop(E)`` -- the engine's cycle loop with ``_run_cycle``,
+  ``_apply_pending`` and ``_drain_pending_fast`` fused into one frame,
+  specialized to the firing-rule kinds the graph actually contains
+  (graphs without allocate/free/merge nodes drop those branches).
+
+The generated code must stay *bit-identical* to the closure
+interpreter: every livebox delta, deposit ordering, and exception
+message mirrors ``sim/tagged/engine.py`` -- the golden engine records
+and the differential fuzz suite pin this.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.compiler.graph import TaggedGraph
+from repro.ir.ops import OP_INFO, Op
+from repro.sim.codegen.core import Writer, lit, pure_expr, safe_literal
+
+Bind = Tuple[str, str]
+
+
+def _operand(nid: int, port: int, imms, binds: List[Bind]) -> str:
+    """Source for one input operand, mirroring
+    ``entry[p] if p in entry else imms[p]`` with the immediate inlined
+    (token-only ports collapse to ``entry[p]``)."""
+    if port in imms:
+        value = imms[port]
+        if safe_literal(value):
+            ref = lit(value)
+        else:
+            ref = f"i{port}"
+            binds.append((ref, f"imms[{nid}][{port}]"))
+        return f"(entry[{port}] if {port} in entry else {ref})"
+    return f"entry[{port}]"
+
+
+def _emit_edges(w: Writer, edges, tag: str, data: str) -> None:
+    for dest_id, dest_port in edges:
+        w(f"append(({dest_id}, {dest_port}, {tag}, {data}))")
+
+
+def _emit_node(w: Writer, graph: TaggedGraph, nid: int) -> None:
+    nd = graph.nodes[nid]
+    op = nd.op
+    imms = nd.imms
+    edges = nd.out_edges
+    attrs = nd.attrs
+    n_in = nd.n_inputs
+    name = f"f{nid}"
+    w(f"# node {nid}: {op.value} @{nd.block}")
+
+    def header(binds: List[Bind], *, pop: bool = True) -> None:
+        parts = ["tag"]
+        if pop:
+            parts.append(f"pop=wait[{nid}].pop")
+        parts += [f"{n}={expr}" for n, expr in binds]
+        w(f"def {name}({', '.join(parts)}):")
+        w.indent()
+
+    def footer() -> None:
+        w.dedent()
+        w(f"fns[{nid}] = {name}")
+        w()
+
+    if op is Op.MERGE:
+        edges0 = edges[0]
+        n0 = len(edges0)
+        binds: List[Bind] = [("append", "append"),
+                             ("livebox", "livebox")]
+        if imms:
+            if safe_literal(imms):
+                im_ref = lit(imms)
+            else:
+                im_ref = f"imms[{nid}]"
+            binds.append(("im", im_ref))
+        header(binds)
+        w("entry = pop(tag)")
+        w("livebox[0] -= len(entry)")
+        w("chosen = 1 if entry[0] else 2")
+        if imms:
+            w("data = entry[chosen] if chosen in entry else im[chosen]")
+        else:
+            w("data = entry[chosen]")
+        _emit_edges(w, edges0, "tag", "data")
+        if n0:
+            w(f"livebox[0] += {n0}")
+        footer()
+        return
+
+    if op is Op.STEER:
+        edges0, edges1 = edges[0], edges[1]
+        n0, n1 = len(edges0), len(edges1)
+        sense = bool(attrs["sense"])
+        binds = [("append", "append"), ("livebox", "livebox")]
+        dexpr = _operand(nid, 0, imms, binds)
+        vexpr = _operand(nid, 1, imms, binds)
+        header(binds)
+        w("entry = pop(tag)")
+        w("livebox[0] -= len(entry)")
+        if n0:
+            w(f"if {dexpr}:" if sense else f"if not {dexpr}:")
+            w.indent()
+            w(f"value = {vexpr}")
+            _emit_edges(w, edges0, "tag", "value")
+            w(f"livebox[0] += {n0}")
+            w.dedent()
+        _emit_edges(w, edges1, "tag", "0")
+        if n1:
+            w(f"livebox[0] += {n1}")
+        footer()
+        return
+
+    if op is Op.LOAD:
+        edges0, edges1 = edges[0], edges[1]
+        n0, n1 = len(edges0), len(edges1)
+        array = attrs["array"]
+        binds = [("append", "append"), ("livebox", "livebox"),
+                 ("mem_load", "mem_load")]
+        if safe_literal(array):
+            arr = lit(array)
+        else:
+            arr = "array"
+            binds.append(("array", f"attrs[{nid}]['array']"))
+        addr = _operand(nid, 0, imms, binds)
+        # Latency is a run parameter, not part of the plan: emit both
+        # firing rules and pick at bind time.
+        w("if latency <= 1:")
+        w.indent()
+        header(binds)
+        w("entry = pop(tag)")
+        w("livebox[0] -= len(entry)")
+        w(f"value = mem_load({arr}, {addr})")
+        _emit_edges(w, edges0, "tag", "value")
+        _emit_edges(w, edges1, "tag", "0")
+        if n0 + n1:
+            w(f"livebox[0] += {n0 + n1}")
+        w.dedent()
+        w.dedent()
+        w("else:")
+        w.indent()
+        vbinds = binds + [("metrics", "metrics"),
+                          ("delayed", "delayed"),
+                          ("latency", "latency"),
+                          ("load_delay", "load_delay")]
+        header(vbinds)
+        w("entry = pop(tag)")
+        w("livebox[0] -= len(entry)")
+        w(f"addr = {addr}")
+        w(f"value = mem_load({arr}, addr)")
+        w(f"delay = load_delay(latency, {arr}, addr)")
+        w("if delay <= 1:")
+        w.indent()
+        _emit_edges(w, edges0, "tag", "value")
+        _emit_edges(w, edges1, "tag", "0")
+        if not (edges0 or edges1):
+            w("pass")
+        w.dedent()
+        w("else:")
+        w.indent()
+        w("due = metrics.cycles + delay - 1")
+        w("bucket = delayed.get(due)")
+        w("if bucket is None:")
+        w.indent()
+        w("delayed[due] = bucket = []")
+        w.dedent()
+        for dest_id, dest_port in edges0:
+            w(f"bucket.append(({dest_id}, {dest_port}, tag, value))")
+        for dest_id, dest_port in edges1:
+            w(f"bucket.append(({dest_id}, {dest_port}, tag, 0))")
+        w.dedent()
+        if n0 + n1:
+            w(f"livebox[0] += {n0 + n1}")
+        w.dedent()
+        w.dedent()
+        w(f"fns[{nid}] = {name}")
+        w()
+        return
+
+    if op is Op.STORE:
+        edges0 = edges[0]
+        n0 = len(edges0)
+        array = attrs["array"]
+        binds = [("append", "append"), ("livebox", "livebox"),
+                 ("mem_store", "mem_store")]
+        if safe_literal(array):
+            arr = lit(array)
+        else:
+            arr = "array"
+            binds.append(("array", f"attrs[{nid}]['array']"))
+        addr = _operand(nid, 0, imms, binds)
+        value = _operand(nid, 1, imms, binds)
+        header(binds)
+        w("entry = pop(tag)")
+        w("livebox[0] -= len(entry)")
+        w(f"mem_store({arr}, {addr}, {value})")
+        _emit_edges(w, edges0, "tag", "0")
+        if n0:
+            w(f"livebox[0] += {n0}")
+        footer()
+        return
+
+    if op is Op.JOIN:
+        edges0 = edges[0]
+        n0 = len(edges0)
+        binds = [("append", "append"), ("livebox", "livebox")]
+        value = _operand(nid, 0, imms, binds)
+        header(binds)
+        w("entry = pop(tag)")
+        w("livebox[0] -= len(entry)")
+        if edges0:
+            w(f"value = {value}")
+            _emit_edges(w, edges0, "tag", "value")
+            w(f"livebox[0] += {n0}")
+        footer()
+        return
+
+    if op is Op.CHANGE_TAG:
+        edges1 = edges[1]
+        n1 = len(edges1)
+        table = attrs.get("route_table")
+        binds = [("append", "append"), ("livebox", "livebox")]
+        new_tag = _operand(nid, 0, imms, binds)
+        data = _operand(nid, 1, imms, binds)
+        if table is None:
+            edges0 = edges[0]
+            n0 = len(edges0)
+            header(binds)
+            w("entry = pop(tag)")
+            w("livebox[0] -= len(entry)")
+            w(f"new_tag = {new_tag}")
+            w(f"data = {data}")
+            _emit_edges(w, edges0, "new_tag", "data")
+            if n0:
+                w(f"livebox[0] += {n0}")
+        else:
+            ret = _operand(nid, 2, imms, binds)
+            binds.append(
+                ("table_get", f"attrs[{nid}]['route_table'].get"))
+            header(binds)
+            w("entry = pop(tag)")
+            w("livebox[0] -= len(entry)")
+            w(f"new_tag = {new_tag}")
+            w(f"data = {data}")
+            w(f"dests = table_get({ret}, ())")
+            w("for e in dests:")
+            w.indent()
+            w("append((e[0], e[1], new_tag, data))")
+            w.dedent()
+            w("livebox[0] += len(dests)")
+        _emit_edges(w, edges1, "tag", "0")
+        if n1:
+            w(f"livebox[0] += {n1}")
+        footer()
+        return
+
+    if op is Op.EXTRACT_TAG:
+        edges0 = edges[0]
+        n0 = len(edges0)
+        header([("append", "append"), ("livebox", "livebox")])
+        w("entry = pop(tag)")
+        w("livebox[0] -= len(entry)")
+        _emit_edges(w, edges0, "tag", "tag")
+        if n0:
+            w(f"livebox[0] += {n0}")
+        footer()
+        return
+
+    if op is Op.FREE:
+        header([("pool", f"E._free_pool[{nid}]"),
+                ("dirty", "dirty"), ("livebox", "livebox")])
+        w("entry = pop(tag)")
+        w("livebox[0] -= len(entry)")
+        w("pool.push(tag)")
+        w("if pool not in dirty:")
+        w.indent()
+        w("dirty.append(pool)")
+        w.dedent()
+        footer()
+        return
+
+    info = OP_INFO[op]
+    if not info.pure:
+        # ALLOCATE is dispatched through the engine's state machine,
+        # never through fns[...]; anything else non-pure is illegal in
+        # a tagged graph. Mirror the interpreter's guard closure.
+        header([], pop=False)
+        w(f"raise SimulationError({lit('cannot execute ' + op.value)})")
+        footer()
+        return
+
+    # Pure arithmetic/logic. Mirror the interpreter's shape selection
+    # exactly (the shapes differ in their livebox deltas).
+    edges0 = edges[0]
+    n0 = len(edges0)
+    result_idx = attrs.get("result_index")
+    binds = [("append", "append"), ("livebox", "livebox")]
+
+    def value_expr(args: List[str]) -> str:
+        expr = pure_expr(op, args)
+        if expr is None:
+            binds.append(("ev", f"OP_INFO[Op.{op.name}].evaluate"))
+            return f"ev({', '.join(args)})"
+        return expr
+
+    if result_idx is None and not imms and n_in == 2:
+        expr = value_expr(["entry[0]", "entry[1]"])
+        header(binds)
+        w("entry = pop(tag)")
+        w("livebox[0] -= 2")
+        w(f"value = {expr}")
+        _emit_edges(w, edges0, "tag", "value")
+        if n0:
+            w(f"livebox[0] += {n0}")
+        footer()
+        return
+
+    if result_idx is None and not imms and n_in == 1:
+        expr = value_expr(["entry[0]"])
+        header(binds)
+        w("entry = pop(tag)")
+        w("livebox[0] -= 1")
+        w(f"value = {expr}")
+        _emit_edges(w, edges0, "tag", "value")
+        if n0:
+            w(f"livebox[0] += {n0}")
+        footer()
+        return
+
+    if result_idx is None and n_in == 2 and len(imms) == 1:
+        port = 0 if 0 in imms else 1
+        if safe_literal(imms[port]):
+            imm = lit(imms[port])
+        else:
+            imm = f"i{port}"
+            binds.append((imm, f"imms[{nid}][{port}]"))
+        args = ([imm, "entry[1]"] if port == 0 else ["entry[0]", imm])
+        expr = value_expr(args)
+        header(binds)
+        w("entry = pop(tag)")
+        w("livebox[0] -= 1")
+        w(f"value = {expr}")
+        _emit_edges(w, edges0, "tag", "value")
+        if n0:
+            w(f"livebox[0] += {n0}")
+        footer()
+        return
+
+    args = [_operand(nid, p, imms, binds) for p in range(n_in)]
+    expr = value_expr(args)
+    if result_idx is not None:
+        binds.append(("results", "results"))
+    header(binds)
+    w("entry = pop(tag)")
+    w("livebox[0] -= len(entry)")
+    w(f"value = {expr}")
+    if result_idx is not None:
+        w(f"results[{result_idx}] = value")
+    _emit_edges(w, edges0, "tag", "value")
+    if n0:
+        w(f"livebox[0] += {n0}")
+    footer()
+
+
+def generate(graph: TaggedGraph) -> str:
+    """Source of the generated kernel module for ``graph``."""
+    n = len(graph.nodes)
+    ops = {nd.op for nd in graph.nodes}
+    has_alloc = Op.ALLOCATE in ops
+    has_merge = Op.MERGE in ops
+    has_free = Op.FREE in ops
+
+    w = Writer()
+    w('"""Generated tagged-graph kernels '
+      f'({n} nodes, {len(graph.blocks)} tag spaces).'
+      '\n\nEmitted by repro.sim.codegen.tagged; regenerated from the'
+      '\nplan, never edited. The closure interpreter in'
+      '\nsim/tagged/engine.py is the bit-identical reference."""')
+    w("from repro.errors import SimulationError, TokenBoundExceeded")
+    w("from repro.ir.ops import OP_INFO, Op")
+    w("from repro.sim.latency import load_delay")
+    w()
+    w()
+    w("def bind_fires(E):")
+    w.indent()
+    w('"""Bind per-node firing kernels to a live TaggedEngine."""')
+    w("wait = E._wait")
+    w("livebox = E._livebox")
+    w("append = E._pending.append")
+    w("imms = E._imms")
+    w("attrs = E._attrs")
+    w("results = E._results")
+    w("mem_load = E.memory.load")
+    w("mem_store = E.memory.store")
+    w("metrics = E.metrics")
+    w("delayed = E._delayed")
+    w("latency = E.load_latency")
+    w("dirty = E._dirty_pools")
+    w(f"fns = [None] * {n}")
+    w()
+    for nid in range(n):
+        _emit_node(w, graph, nid)
+    w("return fns")
+    w.dedent()
+    w()
+    w()
+    w("def run_loop(E):")
+    w.indent()
+    w('"""The engine cycle loop with _run_cycle, _apply_pending and')
+    w('_drain_pending_fast fused into one frame."""')
+    w("metrics = E.metrics")
+    w("ready = E._ready")
+    w("popleft = ready.popleft")
+    w("ready_append = ready.append")
+    w("livebox = E._livebox")
+    w("pending = E._pending")
+    w("dep = E._dep")
+    w("delayed = E._delayed")
+    w("fire_fns = E._fire_fns")
+    w("token_bound = E._token_bound")
+    w("max_cycles = E.max_cycles")
+    w("issue_width = E.issue_width")
+    if has_alloc:
+        w("fire_alloc_pop = E._fire_alloc_pop")
+        w("fire_alloc_ctl = E._fire_alloc_ctl")
+        w("deposit_alloc = E._deposit_alloc")
+    if has_free:
+        w("dirty = E._dirty_pools")
+        w("wake = E._wake_waiters")
+    # MetricsRecorder.sample is inlined into frame locals, committed
+    # back in the finally. metrics.cycles is synchronized at the end
+    # of every cycle when loads can be delayed (the variable-latency
+    # fire rules read it mid-cycle) and around _stall_for_memory,
+    # which both reads and mutates the recorder.
+    w("sync = E.load_latency > 1")
+    w("sample_traces = metrics.sample_traces")
+    w("ipc_vals = metrics.ipc_trace._values")
+    w("ipc_counts = metrics.ipc_trace._counts")
+    w("live_vals = metrics.live_trace._values")
+    w("live_counts = metrics.live_trace._counts")
+    w("cycles = metrics.cycles")
+    w("instructions = metrics.instructions")
+    w("peak_live = metrics._peak_live")
+    w("live_sum = metrics._live_sum")
+    w("try:")
+    w.indent()
+    w("while True:")
+    w.indent()
+    w("if not ready:")
+    w.indent()
+    w("if delayed:")
+    w.indent()
+    w("metrics.cycles = cycles")
+    w("metrics.instructions = instructions")
+    w("metrics._peak_live = peak_live")
+    w("metrics._live_sum = live_sum")
+    w("try:")
+    w.indent()
+    w("E._stall_for_memory()")
+    w.dedent()
+    w("finally:")
+    w.indent()
+    w("cycles = metrics.cycles")
+    w("peak_live = metrics._peak_live")
+    w("live_sum = metrics._live_sum")
+    w.dedent()
+    w("continue")
+    w.dedent()
+    w("if E._is_finished():")
+    w.indent()
+    w("return True")
+    w.dedent()
+    w("metrics.cycles = cycles")
+    w("metrics.instructions = instructions")
+    w("E._raise_deadlock()")
+    w.dedent()
+    w("fired = 0")
+    w("budget = issue_width")
+    w("while ready and budget > 0:")
+    w.indent()
+    w("nid, tag, action = popleft()")
+    if has_alloc:
+        w("if action == 0:")
+        w.indent()
+        w("fire_fns[nid](tag)")
+        w("fired += 1")
+        w("budget -= 1")
+        w.dedent()
+        w("elif action == 1:")
+        w.indent()
+        w("if fire_alloc_pop(nid, tag):")
+        w.indent()
+        w("fired += 1")
+        w("budget -= 1")
+        w.dedent()
+        w.dedent()
+        w("else:")
+        w.indent()
+        w("fire_alloc_ctl(nid, tag)")
+        w("fired += 1")
+        w("budget -= 1")
+        w.dedent()
+    else:
+        w("fire_fns[nid](tag)")
+        w("fired += 1")
+        w("budget -= 1")
+    w.dedent()
+    w("matured = delayed.pop(cycles, None) if delayed else None")
+    w("if matured:")
+    w.indent()
+    w("pending.extend(matured)")
+    w.dedent()
+    w("if pending:")
+    w.indent()
+    w("for nid, port, tag, data in pending:")
+    w.indent()
+    w("kind, store, n_ports, imms = dep[nid]")
+    # Deposit branches only for the firing-rule kinds present.
+    plain_dep = [
+        "entry = store.get(tag)",
+        "if entry is None:",
+        "    store[tag] = {port: data}",
+        "    if n_ports == 1:",
+        "        ready_append((nid, tag, 0))",
+        "else:",
+        "    entry[port] = data",
+        "    if len(entry) == n_ports:",
+        "        ready_append((nid, tag, 0))",
+    ]
+    merge_dep = [
+        "entry = store.get(tag)",
+        "if entry is None:",
+        "    store[tag] = entry = {}",
+        "entry[port] = data",
+        "if 0 in entry:",
+        "    want = 1 if entry[0] else 2",
+        "    if want in entry or want in imms:",
+        "        ready_append((nid, tag, 0))",
+    ]
+    branches = [("kind == 0", plain_dep)]
+    if has_merge:
+        branches.append(("kind == 1", merge_dep))
+    if has_alloc:
+        branches.append((None, ["deposit_alloc(nid, port, tag)"]))
+    if len(branches) == 1:
+        for line in branches[0][1]:
+            w(line)
+    else:
+        for i, (cond, body) in enumerate(branches):
+            if i == 0:
+                w(f"if {cond}:")
+            elif cond is None or i == len(branches) - 1:
+                w("else:")
+            else:
+                w(f"elif {cond}:")
+            w.indent()
+            for line in body:
+                w(line)
+            w.dedent()
+    w.dedent()
+    w("del pending[:]")
+    w.dedent()
+    if has_free:
+        w("if dirty:")
+        w.indent()
+        w("pools = dirty[:]")
+        w("del dirty[:]")
+        w("for pool in pools:")
+        w.indent()
+        w("wake(pool)")
+        w.dedent()
+        w.dedent()
+    w("live = livebox[0]")
+    w("cycles += 1")
+    w("instructions += fired")
+    w("if live > peak_live:")
+    w.indent()
+    w("peak_live = live")
+    w.dedent()
+    w("live_sum += live")
+    w("if sample_traces:")
+    w.indent()
+    w("if ipc_counts and ipc_vals[-1] == fired:")
+    w.indent()
+    w("ipc_counts[-1] += 1")
+    w.dedent()
+    w("else:")
+    w.indent()
+    w("ipc_vals.append(fired)")
+    w("ipc_counts.append(1)")
+    w.dedent()
+    w("if live_counts and live_vals[-1] == live:")
+    w.indent()
+    w("live_counts[-1] += 1")
+    w.dedent()
+    w("else:")
+    w.indent()
+    w("live_vals.append(live)")
+    w("live_counts.append(1)")
+    w.dedent()
+    w.dedent()
+    w("if sync:")
+    w.indent()
+    w("metrics.cycles = cycles")
+    w.dedent()
+    w("if token_bound is not None and live > token_bound:")
+    w.indent()
+    w("raise TokenBoundExceeded(")
+    w("    f\"live tokens {live} exceed Theorem 2 bound \"")
+    w("    f\"{token_bound}\")")
+    w.dedent()
+    w("if cycles >= max_cycles:")
+    w.indent()
+    w("raise SimulationError(f\"exceeded max_cycles={max_cycles}\")")
+    w.dedent()
+    w.dedent()
+    w.dedent()
+    w("finally:")
+    w.indent()
+    w("metrics.cycles = cycles")
+    w("metrics.instructions = instructions")
+    w("metrics._peak_live = peak_live")
+    w("metrics._live_sum = live_sum")
+    w("if sample_traces:")
+    w.indent()
+    w("metrics.ipc_trace._length = cycles")
+    w("metrics.live_trace._length = cycles")
+    w.dedent()
+    w.dedent()
+    w.dedent()
+    return w.source()

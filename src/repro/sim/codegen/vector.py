@@ -1,0 +1,275 @@
+"""AOT kernel generator for the data-parallel (vector) machine.
+
+The interpreter walks each block as a tuple of per-op step closures
+(:meth:`DataParallelEngine._make_step`).  The generated module instead
+emits **one straight-line function per block** -- region branches
+become real ``if`` statements, operand slots and array names become
+literals, and pure opcodes inline their expression templates -- so a
+block activation is a single call instead of a closure per op.
+
+``bind_steps(E)`` returns the ``(ticked, silent)`` table dicts the
+engine stores as ``_ticked``/``_silent``; each block maps to a
+1-tuple, which keeps :meth:`DataParallelEngine._exec_block` and
+:meth:`~DataParallelEngine._exec_vector_loop` unchanged.  Blocks
+containing loads are emitted twice (idealized vs variable-latency
+timing) and selected by the engine's ``load_latency`` at bind time;
+variable-latency loads fast-forward their stall through the
+``_stall_scalar_load`` O(1) path.  Spawned loops are classified
+vector-vs-scalar at generation time (``classify_loop`` is a pure
+function of the program).
+
+Profiled runs never bind kernels (the profiler wraps the interpreter's
+per-op ticks), so generated ticks are always the plain recorder.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.ir.ops import OP_INFO, Op
+from repro.ir.program import BlockKind, ContextProgram
+from repro.sim.codegen.core import Writer, lit, pure_expr, safe_literal
+from repro.sim.vector.analysis import classify_loop
+from repro.sim.vector.plan import VecIf, VecOp, build_vec_plans
+
+Bind = Tuple[str, str]
+
+
+class _Binder:
+    """Collects the default-argument binds of one block function."""
+
+    def __init__(self) -> None:
+        self.binds: List[Bind] = []
+        self._seen: set = set()
+
+    def need(self, name: str, expr: str) -> str:
+        if name not in self._seen:
+            self._seen.add(name)
+            self.binds.append((name, expr))
+        return name
+
+
+def _emit_items(w: Writer, b: _Binder, items, mode: str,
+                ctx) -> None:
+    """Emit the body for a tuple of region items.
+
+    ``mode`` is ``ticked_fast`` (idealized loads), ``ticked_var``
+    (variable-latency loads) or ``silent`` (vector body, no ticks).
+    """
+    ticked = mode != "silent"
+    for item in items:
+        if isinstance(item, VecIf):
+            d = item.decider_slot
+            if item.then_items:
+                w(f"if env[{d}]:")
+                w.indent()
+                _emit_items(w, b, item.then_items, mode, ctx)
+                w.dedent()
+                if item.else_items:
+                    w("else:")
+                    w.indent()
+                    _emit_items(w, b, item.else_items, mode, ctx)
+                    w.dedent()
+            elif item.else_items:
+                w(f"if not env[{d}]:")
+                w.indent()
+                _emit_items(w, b, item.else_items, mode, ctx)
+                w.dedent()
+            continue
+
+        assert isinstance(item, VecOp)
+        op = item.op
+        ins = item.in_slots
+        outs = item.out_slots
+
+        if op is Op.SPAWN:
+            _emit_spawn(w, b, item, ticked, ctx)
+            continue
+
+        if ticked:
+            b.need("tick", "tick")
+            b.need("live", "live")
+
+        if op is Op.LOAD:
+            array = item.attrs["array"]
+            arr = lit(array) if safe_literal(array) else b.need(
+                "ld_array", "None")  # pragma: no cover - names are str
+            b.need("mem_load", "mem_load")
+            if mode == "ticked_var":
+                b.need("stall", "stall")
+                b.need("latency", "latency")
+                b.need("load_delay", "load_delay")
+                w("tick(1, live)")
+                w(f"index = env[{ins[0]}]")
+                w(f"env[{outs[0]}] = mem_load({arr}, index)")
+                w(f"env[{outs[1]}] = 0")
+                w(f"delay = load_delay(latency, {arr}, index)")
+                w("if delay > 1:")
+                w.indent()
+                w("stall(delay - 1, live)")
+                w.dedent()
+            else:
+                if ticked:
+                    w("tick(1, live)")
+                w(f"env[{outs[0]}] = mem_load({arr}, env[{ins[0]}])")
+                w(f"env[{outs[1]}] = 0")
+            continue
+
+        if op is Op.STORE:
+            array = item.attrs["array"]
+            arr = lit(array)
+            b.need("mem_store", "mem_store")
+            if ticked:
+                w("tick(1, live)")
+            w(f"mem_store({arr}, env[{ins[0]}], env[{ins[1]}])")
+            w(f"env[{outs[0]}] = 0")
+            continue
+
+        if op is Op.STEER:
+            # Pass-through of the value operand (control is resolved
+            # by the region tree).
+            if ticked:
+                w("tick(1, live)")
+            w(f"env[{outs[0]}] = env[{ins[1]}]")
+            w(f"env[{outs[1]}] = 0")
+            continue
+
+        if op is Op.MERGE:
+            if ticked:
+                w("tick(1, live)")
+            w(f"env[{outs[0]}] = (env[{ins[1]}] if env[{ins[0]}]"
+              f" else env[{ins[2]}])")
+            continue
+
+        info = OP_INFO[op]
+        if not info.pure:
+            where = "" if ticked else " in a vector body"
+            w("raise SimulationError(")
+            w(f"    {lit('cannot execute ' + op.value + where)})")
+            continue
+
+        args = [f"env[{s}]" for s in ins]
+        expr = pure_expr(op, args)
+        if expr is None:
+            ev = b.need(f"ev_{op.name.lower()}",
+                        f"OP_INFO[Op.{op.name}].evaluate")
+            expr = f"{ev}({', '.join(args)})"
+        if ticked:
+            w("tick(1, live)")
+        w(f"env[{outs[0]}] = {expr}")
+
+
+def _emit_spawn(w: Writer, b: _Binder, item: VecOp, ticked: bool,
+                ctx) -> None:
+    if not ticked:
+        # classify_loop rejects loops containing transfer points.
+        w("raise SimulationError(")
+        w("    'cannot execute spawn in a vector body')")
+        return
+    program, plans, counters = ctx
+    callee = item.attrs["callee"]
+    callee_kind = program.block(callee).kind
+    is_vec = (callee_kind is BlockKind.LOOP
+              and classify_loop(program.block(callee)) is not None)
+    j = counters[0]
+    counters[0] += 1
+    cp = b.need(f"cp{j}", f"plans[{lit(callee)}]")
+    arg_list = ", ".join(f"env[{s}]" for s in item.in_slots)
+    n_res = len(plans[callee].term_results)
+    if is_vec:
+        vi = b.need(f"vi{j}", f"vector_info[{lit(callee)}]")
+        b.need("exec_vector", "exec_vector")
+        w(f"r = exec_vector({cp}, {vi}, [{arg_list}])")
+    else:
+        if callee_kind is BlockKind.LOOP:
+            b.need("E", "E")
+            w("E.scalar_trips += 1")
+        b.need("exec_block", "exec_block")
+        w(f"r = exec_block({cp}, [{arg_list}])")
+    for k, slot in enumerate(item.out_slots[:n_res]):
+        w(f"env[{slot}] = r[{k}]")
+
+
+def _has_load(items) -> bool:
+    for item in items:
+        if isinstance(item, VecIf):
+            if _has_load(item.then_items) or _has_load(item.else_items):
+                return True
+        elif item.op is Op.LOAD:
+            return True
+    return False
+
+
+def _emit_block_fn(w: Writer, name: str, plan, mode: str,
+                   ctx) -> None:
+    body = Writer()
+    b = _Binder()
+    _emit_items(body, b, plan.items, mode, ctx)
+    if not body._lines:
+        body("pass")
+    params = ["env"] + [f"{n}={e}" for n, e in b.binds]
+    w(f"def {name}({', '.join(params)}):")
+    w.indent()
+    for line in body._lines:
+        w(line)
+    w.dedent()
+    w()
+
+
+def generate(program: ContextProgram) -> str:
+    """Source of the generated kernel module for ``program``."""
+    plans = build_vec_plans(program)
+    ctx = (program, plans, [0])
+
+    w = Writer()
+    w('"""Generated data-parallel kernels '
+      f'({len(plans)} blocks).'
+      '\n\nEmitted by repro.sim.codegen.vector; regenerated from the'
+      '\nplan, never edited. The step-closure interpreter in'
+      '\nsim/vector/engine.py is the bit-identical reference."""')
+    w("from repro.errors import SimulationError")
+    w("from repro.ir.ops import OP_INFO, Op")
+    w("from repro.sim.latency import load_delay")
+    w()
+    w()
+    w("def bind_steps(E):")
+    w.indent()
+    w('"""Bind whole-block step tables to a live engine; returns')
+    w('the ``(ticked, silent)`` dicts for ``_ticked``/``_silent``."""')
+    w("tick = E._tick")
+    w("stall = E._stall_scalar_load")
+    w("live = E._scalar_live")
+    w("mem_load = E.memory.load")
+    w("mem_store = E.memory.store")
+    w("latency = E.load_latency")
+    w("plans = E.plans")
+    w("vector_info = E.vector_info")
+    w("exec_block = E._exec_block")
+    w("exec_vector = E._exec_vector_loop")
+    w("ticked = {}")
+    w("silent = {}")
+    w()
+    for bi, (bname, plan) in enumerate(plans.items()):
+        w(f"# block {bname!r}")
+        if _has_load(plan.items):
+            _emit_block_fn(w, f"tb{bi}_fast", plan, "ticked_fast",
+                           ctx)
+            _emit_block_fn(w, f"tb{bi}_var", plan, "ticked_var", ctx)
+            w("if latency <= 1:")
+            w.indent()
+            w(f"ticked[{lit(bname)}] = (tb{bi}_fast,)")
+            w.dedent()
+            w("else:")
+            w.indent()
+            w(f"ticked[{lit(bname)}] = (tb{bi}_var,)")
+            w.dedent()
+        else:
+            _emit_block_fn(w, f"tb{bi}", plan, "ticked_fast", ctx)
+            w(f"ticked[{lit(bname)}] = (tb{bi},)")
+        if classify_loop(program.block(bname)) is not None:
+            _emit_block_fn(w, f"sb{bi}", plan, "silent", ctx)
+            w(f"silent[{lit(bname)}] = (sb{bi},)")
+        w()
+    w("return ticked, silent")
+    w.dedent()
+    return w.source()

@@ -20,10 +20,19 @@ import zlib
 #: everywhere and lets golden metrics pin variable-latency runs.
 _ARRAY_HASH: dict = {}
 
+#: The memo is keyed by arbitrary program array names, so a
+#: long-lived sweep process over many generated programs could grow
+#: it without bound; real programs use a handful of arrays, so the
+#: bound only trips on pathological name churn (then crc32 is simply
+#: recomputed).
+_ARRAY_HASH_LIMIT = 4096
+
 
 def _array_hash(array: str) -> int:
     h = _ARRAY_HASH.get(array)
     if h is None:
+        if len(_ARRAY_HASH) >= _ARRAY_HASH_LIMIT:
+            _ARRAY_HASH.clear()
         h = _ARRAY_HASH[array] = zlib.crc32(array.encode("utf-8"))
     return h
 

@@ -50,7 +50,8 @@ class QueuedEngine:
                  sample_traces: bool = True,
                  load_latency: int = 1,
                  max_cycles: int = 200_000_000,
-                 profile: bool = False):
+                 profile: bool = False,
+                 kernels=None):
         if queue_depth < 1:
             raise SimulationError("queue depth must be >= 1")
         self.graph = graph
@@ -112,9 +113,19 @@ class QueuedEngine:
             ]
             for nd in graph.nodes
         ]
-        self._try_fire_fns: List[Callable[[], bool]] = [
-            self._make_try_fire(nid) for nid in range(n)
-        ]
+        # Generated plan kernels (repro.sim.codegen) replace both the
+        # per-node closures and the cycle loop; profiled runs keep the
+        # interpreted twins because only those carry attribution hooks.
+        self._kernels = None
+        if kernels is not None and self._profiler is None:
+            self._kernels = kernels
+            self._try_fire_fns: List[Callable[[], bool]] = (
+                kernels.ns["bind_fires"](self)
+            )
+        else:
+            self._try_fire_fns = [
+                self._make_try_fire(nid) for nid in range(n)
+            ]
 
     # ------------------------------------------------------------------
     @property
@@ -138,10 +149,12 @@ class QueuedEngine:
                 self._livebox[0] += 1
                 self._next_candidates.add(dest_id)
 
-        if self._profiler is None:
-            completed = self._run_loop()
-        else:
+        if self._profiler is not None:
             completed = self._run_loop_profiled()
+        elif self._kernels is not None:
+            completed = self._kernels.ns["run_loop"](self)
+        else:
+            completed = self._run_loop()
 
         results = tuple(
             self._results.get(i) for i in range(self.graph.n_results)

@@ -81,7 +81,8 @@ class TaggedEngine:
                  record_trace: bool = False,
                  load_latency: int = 1,
                  max_cycles: int = 50_000_000,
-                 profile: bool = False):
+                 profile: bool = False,
+                 kernels=None):
         self.graph = graph
         self.memory = memory
         self.policy = policy
@@ -186,6 +187,11 @@ class TaggedEngine:
         # at all; pending tokens are 4-tuples. The instrumented path
         # threads the producing event id through 5-tuples.
         self._instrumented = record_trace or track_occupancy
+        #: Generated plan kernels (repro.sim.codegen). Used only on
+        #: the uninstrumented, unprofiled fast path; every other
+        #: configuration falls back to the interpreted closures, which
+        #: remain the reference semantics.
+        self._kernels = None
         if self._instrumented:
             self._drain = self._drain_pending_instr
             self._emit = self._emit_instr
@@ -196,9 +202,13 @@ class TaggedEngine:
         else:
             self._drain = self._drain_pending_fast
             self._emit = self._emit_fast
-            self._fire_fns = [
-                self._make_fire(nid) for nid in range(n)
-            ]
+            if kernels is not None and self._profiler is None:
+                self._kernels = kernels
+                self._fire_fns = kernels.ns["bind_fires"](self)
+            else:
+                self._fire_fns = [
+                    self._make_fire(nid) for nid in range(n)
+                ]
         #: Firing-rule selector used by the deposit drain loop.
         self._dkind: List[int] = [
             _DEP_ALLOC if op is Op.ALLOCATE
@@ -242,10 +252,12 @@ class TaggedEngine:
                 self._livebox[0] += 1
         self._apply_pending()
 
-        if self._profiler is None:
-            completed = self._run_loop()
-        else:
+        if self._profiler is not None:
             completed = self._run_loop_profiled()
+        elif self._kernels is not None:
+            completed = self._kernels.ns["run_loop"](self)
+        else:
+            completed = self._run_loop()
 
         results = tuple(
             self._results.get(i)

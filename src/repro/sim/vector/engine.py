@@ -62,7 +62,8 @@ class DataParallelEngine:
                  lanes: int = 128, sample_traces: bool = True,
                  load_latency: int = 1,
                  max_cycles: int = 500_000_000,
-                 profile: bool = False):
+                 profile: bool = False,
+                 kernels=None):
         if lanes < 1:
             raise SimulationError("lanes must be >= 1")
         self.program = program
@@ -96,12 +97,20 @@ class DataParallelEngine:
         self._ticked: Dict[str, Tuple[Callable, ...]] = {}
         #: block name -> silent step closures (vector bodies only).
         self._silent: Dict[str, Tuple[Callable, ...]] = {}
-        for name, plan in self.plans.items():
-            self._ticked[name] = self._compile_items(
-                plan.items, ticked=True, block=name)
-            if self.vector_info.get(name) is not None:
-                self._silent[name] = self._compile_items(
-                    plan.items, ticked=False, block=name)
+        # Generated kernels replace both tables with whole-block
+        # functions; profiled runs always interpret (the profiler
+        # wraps the per-op ticks).
+        if kernels is not None and self._profiler is None:
+            self._ticked, self._silent = (
+                kernels.ns["bind_steps"](self)
+            )
+        else:
+            for name, plan in self.plans.items():
+                self._ticked[name] = self._compile_items(
+                    plan.items, ticked=True, block=name)
+                if self.vector_info.get(name) is not None:
+                    self._silent[name] = self._compile_items(
+                        plan.items, ticked=False, block=name)
 
     # ------------------------------------------------------------------
     def run(self, args: List[object]) -> ExecutionResult:
@@ -137,6 +146,31 @@ class DataParallelEngine:
             raise SimulationError(
                 f"exceeded max_cycles={self.max_cycles}"
             )
+
+    def _stall_scalar_load(self, n_cycles: int, live: int) -> None:
+        """Fast-forward ``n_cycles`` of scalar-load latency in O(1).
+
+        Exactly equivalent to ``n_cycles`` calls of ``_tick(0, live)``
+        (the old per-cycle spin), including where the ``max_cycles``
+        overflow raises mid-stall: the spin raised after sampling the
+        ``max_cycles + 1``-th cycle, with that final cycle sampled but
+        not yet attributed by the profiled tick.
+        """
+        if n_cycles <= 0:
+            return
+        metrics = self.metrics
+        prof = self._profiler
+        allowed = self.max_cycles + 1 - metrics.cycles
+        if n_cycles >= allowed:
+            metrics.sample_idle(live, allowed)
+            if prof is not None:
+                prof.idle("memory_stall", allowed - 1)
+            raise SimulationError(
+                f"exceeded max_cycles={self.max_cycles}"
+            )
+        metrics.sample_idle(live, n_cycles)
+        if prof is not None:
+            prof.idle("memory_stall", n_cycles)
 
     def _exec_block(self, plan: VecBlockPlan,
                     args: List[object]) -> List[object]:
@@ -223,14 +257,16 @@ class DataParallelEngine:
                         env[o1] = 0
                     return step_load_fast
 
+                stall = self._stall_scalar_load
+
                 def step_load(env):
                     tick(1, live)
                     index = env[a0]
                     env[o0] = mem_load(array, index)
                     env[o1] = 0
-                    for _ in range(load_delay(latency, array,
-                                              index) - 1):
-                        tick(0, live)
+                    delay = load_delay(latency, array, index)
+                    if delay > 1:
+                        stall(delay - 1, live)
                 return step_load
 
             def step_load_silent(env):

@@ -110,7 +110,8 @@ class WindowEngine:
                  load_latency: int = 1,
                  max_cycles: int = 500_000_000,
                  machine_name: Optional[str] = None,
-                 profile: bool = False):
+                 profile: bool = False,
+                 kernels=None):
         if window < 1:
             raise SimulationError("window must be >= 1")
         self.program = program
@@ -152,11 +153,21 @@ class WindowEngine:
         self._stall_window = 0
 
         #: block name -> list of firing closures, one per op (shared
-        #: by every dynamic instance of the block).
-        self._fire_tables: Dict[str, List[Callable]] = {
-            name: [self._make_fire(plan, p) for p in plan.ops]
-            for name, plan in self.plans.items()
-        }
+        #: by every dynamic instance of the block).  With generated
+        #: kernels the tables come from the kernel module instead;
+        #: profiled runs always interpret (the profiler wraps the
+        #: closure path).
+        self._kernels = None
+        if kernels is not None and self._profiler is None:
+            self._kernels = kernels
+            self._fire_tables: Dict[str, List[Callable]] = (
+                kernels.ns["bind_fires"](self)
+            )
+        else:
+            self._fire_tables = {
+                name: [self._make_fire(plan, p) for p in plan.ops]
+                for name, plan in self.plans.items()
+            }
 
     # ------------------------------------------------------------------
     # ``_live`` stays addressable for diagnostics/tests while the hot
@@ -184,10 +195,12 @@ class WindowEngine:
         self._register_results(root)
         self._stack.append([root, 0])
 
-        if self._profiler is None:
-            completed = self._run_loop()
-        else:
+        if self._profiler is not None:
             completed = self._run_loop_profiled()
+        elif self._kernels is not None:
+            completed = self._kernels.ns["run_loop"](self)
+        else:
+            completed = self._run_loop()
 
         results = tuple(
             self._program_results.get(i)

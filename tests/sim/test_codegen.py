@@ -1,0 +1,209 @@
+"""Unit tests for the generated plan kernels (:mod:`repro.sim.codegen`).
+
+The differential fuzz suite (tests/properties) pins bit-identity on
+random programs; these tests cover the machinery around the generators:
+source determinism, cache artifacts and their failure fallbacks, the
+``TYR_REPRO_DUMP_KERNELS`` hook, and the rules for when engines fall
+back to the closure interpreters.
+"""
+
+import json
+import pickle
+from dataclasses import replace
+
+import pytest
+
+from repro.harness.cache import CompileCache
+from repro.harness.pool import cache_key, spec_for
+from repro.harness.runner import KERNEL_FAMILY, CompiledWorkload
+from repro.sim import codegen
+from repro.sim.codegen.core import DUMP_ENV, FAMILIES, module_name
+from repro.sim.queued import QueuedEngine
+from repro.sim.tagged import TaggedEngine, UnboundedGlobalPolicy
+from repro.sim.vector import DataParallelEngine
+from repro.sim.window import WindowEngine
+from repro.workloads import build_workload
+
+
+@pytest.fixture(scope="module")
+def wl():
+    return build_workload("dmv", "tiny")
+
+
+# ---------------------------------------------------------------- source
+
+
+def test_generate_source_deterministic(wl):
+    """Source is a pure function of the plan: two independent compiles
+    of the same program emit byte-identical modules."""
+    twin = build_workload("dmv", "tiny")
+    for family in FAMILIES:
+        a = codegen.generate_source(family, wl.compiled)
+        b = codegen.generate_source(family, twin.compiled)
+        assert a == b, family
+
+
+def test_source_has_bind_entry_points(wl):
+    for family in FAMILIES:
+        source = codegen.generate_source(family, wl.compiled)
+        binder = "bind_steps" if family == "vector" else "bind_fires"
+        assert f"def {binder}(E)" in source, family
+        if family != "vector":
+            assert "def run_loop(E)" in source, family
+
+
+# ------------------------------------------------------------- artifacts
+
+
+def test_artifact_round_trip(wl):
+    source = codegen.generate_source("tagged", wl.compiled)
+    mod = codegen.compile_kernels(source, "tagged", "rt-original")
+    art = pickle.loads(pickle.dumps(mod.artifact()))
+    assert art["family"] == "tagged"
+    assert art["source"] == source
+    # A distinct fingerprint forces the restore path past the
+    # per-process module memo.
+    restored = codegen.load_kernels(art, "tagged", "rt-restored")
+    assert restored is not None
+    assert restored.ns["__name__"] == module_name("tagged",
+                                                  "rt-restored")
+    assert "bind_fires" in restored.ns and "run_loop" in restored.ns
+
+
+def test_corrupt_marshal_recompiles_from_source(wl):
+    source = codegen.generate_source("flat", wl.compiled)
+    art = codegen.compile_kernels(source, "flat",
+                                  "rt-marshal").artifact()
+    art["marshal"] = b"not a code object"
+    mod = codegen.load_kernels(art, "flat", "rt-marshal-corrupt")
+    assert mod is not None
+    assert "bind_fires" in mod.ns
+
+
+def test_unusable_artifacts_return_none():
+    assert codegen.load_kernels("junk", "tagged", "rt-junk-1") is None
+    assert codegen.load_kernels({"source": 42}, "tagged",
+                                "rt-junk-2") is None
+    assert codegen.load_kernels({"source": "def bind_fires(E:",
+                                 "python": (0, 0)},
+                                "tagged", "rt-junk-3") is None
+
+
+def test_dump_kernels_env(wl, monkeypatch, tmp_path):
+    monkeypatch.setenv(DUMP_ENV, str(tmp_path))
+    source = codegen.generate_source("window", wl.compiled)
+    # Fresh fingerprint: memoized modules skip the dump.
+    codegen.compile_kernels(source, "window", "dumptest0000")
+    dumped = tmp_path / "window-dumptest0000.py"
+    assert dumped.read_text() == source
+
+
+def test_kernels_consult_plan_cache(wl, tmp_path, monkeypatch):
+    cache = CompileCache(str(tmp_path))
+    first = CompiledWorkload(wl.compiled.program)
+    first.plan_cache = cache
+    mod = first.kernels("tagged")
+    stored = cache.get_plan(first.fingerprint, "kernels-tagged")
+    assert stored is not None and stored["source"] == mod.source
+    # A second workload must load the artifact, never regenerate.
+    monkeypatch.setattr(
+        codegen, "generate_source",
+        lambda *a: pytest.fail("regenerated despite cached artifact"))
+    second = CompiledWorkload(wl.compiled.program)
+    second.plan_cache = cache
+    assert second.kernels("tagged").source == mod.source
+
+
+# -------------------------------------------------------------- fallback
+
+
+def test_traced_and_profiled_runs_never_touch_kernels(wl, monkeypatch):
+    """Profiled, traced, and occupancy-tracked runs carry hooks the
+    kernels omit; the runner must not even request kernels for them
+    (nor when codegen=False)."""
+    cw = CompiledWorkload(wl.compiled.program)
+    monkeypatch.setattr(
+        cw, "kernels",
+        lambda family: pytest.fail("kernels requested on a "
+                                   "fallback path"))
+    for kwargs in ({"profile": True}, {"record_trace": True},
+                   {"track_occupancy": True}, {"codegen": False}):
+        res = cw.run("tyr", wl.fresh_memory(), wl.args, **kwargs)
+        assert res.completed
+
+
+def test_profiled_engines_keep_interpreter_tables(wl):
+    """Engines given kernels still interpret when profiling: the
+    profiler wraps per-op closures the generated code inlines away."""
+    cw = wl.compiled
+    mem = wl.fresh_memory
+    tagged = TaggedEngine(cw.tagged, mem(), UnboundedGlobalPolicy(),
+                          profile=True, kernels=cw.kernels("tagged"))
+    assert tagged._kernels is None
+    queued = QueuedEngine(cw.flat, mem(), profile=True,
+                          kernels=cw.kernels("flat"))
+    assert queued._kernels is None
+    window = WindowEngine(cw.program, mem(), profile=True,
+                          kernels=cw.kernels("window"))
+    assert window._kernels is None
+    # The vector engine swaps its step tables rather than a loop:
+    # generated tables hold one whole-block function per block,
+    # interpreted tables one closure per op.
+    vec_gen = DataParallelEngine(cw.program, mem(),
+                                 kernels=cw.kernels("vector"))
+    assert all(len(t) == 1 for t in vec_gen._ticked.values())
+    vec_prof = DataParallelEngine(cw.program, mem(), profile=True,
+                                  kernels=cw.kernels("vector"))
+    assert any(len(t) > 1 for t in vec_prof._ticked.values())
+
+
+def test_codegen_flag_matches_interpreter(wl):
+    for machine in ("tyr", "ordered", "vn", "datapar"):
+        interp = wl.compiled.run(machine, wl.fresh_memory(), wl.args,
+                                 codegen=False)
+        gen = wl.compiled.run(machine, wl.fresh_memory(), wl.args,
+                              codegen=True)
+        assert (gen.cycles, gen.instructions, gen.results) == \
+            (interp.cycles, interp.instructions, interp.results)
+
+
+# --------------------------------------------------------------- harness
+
+
+def test_cache_key_ignores_codegen(wl):
+    """Results are bit-identical either way, so a cached result must
+    serve both settings."""
+    spec = spec_for(wl, "tyr", {"tags": 8})
+    assert cache_key(spec) == cache_key(replace(spec, codegen=False))
+
+
+def test_every_machine_has_a_family(wl):
+    from repro.harness.runner import MACHINES
+    assert set(KERNEL_FAMILY) == set(MACHINES)
+    assert set(KERNEL_FAMILY.values()) == set(FAMILIES)
+
+
+# ----------------------------------------------------------------- bench
+
+
+def test_bench_compare_smoke(tmp_path, capsys):
+    from repro import bench
+
+    def record(path, ips):
+        path.write_text(json.dumps({
+            "date": "2026-08-08T00:00:00",
+            "cases": {k: {"instructions": 1000,
+                          "best_seconds": 1000 / v,
+                          "instrs_per_sec": v}
+                      for k, v in ips.items()},
+        }))
+
+    a, b = tmp_path / "A.json", tmp_path / "B.json"
+    record(a, {"dmv/small/tyr": 1000.0, "only/in/a": 500.0})
+    record(b, {"dmv/small/tyr": 2000.0, "only/in/b": 700.0})
+    assert bench.main(["--compare", str(a), str(b)]) == 0
+    out = capsys.readouterr().out
+    assert "2.00x" in out
+    assert "geomean" in out
+    # Cases present in only one record are listed but unrated.
+    assert "only/in/a" in out and "only/in/b" in out
