@@ -6,6 +6,9 @@ Examples::
     tyr-repro run dmv --machine tyr --scale default --tags 8
     tyr-repro experiment fig12 --scale default
     tyr-repro experiment all --scale small
+    tyr-repro worker-serve --port 7341 --jobs 4
+    tyr-repro experiment fig05 --jobs 2 --hosts hostA:7341,hostB:7341
+    tyr-repro cache gc --max-size 2G --max-age 7d
 """
 
 from __future__ import annotations
@@ -65,9 +68,13 @@ def _cmd_experiment(args) -> int:
     else:
         names = [args.name]
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    hosts = tuple(h.strip() for h in (args.hosts or "").split(",")
+                  if h.strip())
     options = RunOptions(timeout=args.timeout, retries=args.retries,
                          run_log=args.run_log, progress=args.progress,
-                         codegen=not args.no_codegen)
+                         codegen=not args.no_codegen,
+                         hosts=hosts,
+                         cost_logs=tuple(args.cost_log or ()))
     for name in names:
         start = time.time()
         report = get_experiment(name)(scale=args.scale,
@@ -157,6 +164,63 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_worker_serve(args) -> int:
+    from repro.harness.remote import serve
+
+    serve(port=args.port, jobs=args.jobs, bind=args.bind,
+          cache_dir=args.cache_dir, use_cache=not args.no_cache,
+          once=args.serve_once, fail_after=args.fail_after)
+    return 0
+
+
+def parse_size(text: str) -> int:
+    """``500M`` / ``2G`` / ``1048576`` -> bytes."""
+    t = text.strip().lower()
+    if t.endswith("b"):
+        t = t[:-1]
+    mult = 1
+    if t and t[-1] in "kmgt":
+        mult = {"k": 1 << 10, "m": 1 << 20,
+                "g": 1 << 30, "t": 1 << 40}[t[-1]]
+        t = t[:-1]
+    try:
+        return int(float(t) * mult)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad size {text!r} (examples: 500M, 2G, 1048576)")
+
+
+def parse_age(text: str) -> float:
+    """``7d`` / ``12h`` / ``30m`` / ``90`` (seconds) -> seconds."""
+    t = text.strip().lower()
+    mult = 1.0
+    if t and t[-1] in "smhdw":
+        mult = {"s": 1.0, "m": 60.0, "h": 3600.0,
+                "d": 86400.0, "w": 604800.0}[t[-1]]
+        t = t[:-1]
+    try:
+        return float(t) * mult
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad age {text!r} (examples: 7d, 12h, 30m, 90)")
+
+
+def _cmd_cache_gc(args) -> int:
+    if args.max_size is None and args.max_age is None:
+        print("error: cache gc needs --max-size and/or --max-age "
+              "(otherwise there is nothing to prune by)",
+              file=sys.stderr)
+        return 2
+    cache = ResultCache(args.cache_dir)
+    stats = cache.gc(max_size=args.max_size, max_age=args.max_age)
+    print(f"cache gc at {cache.root}: removed {stats['removed']} "
+          f"entr{'y' if stats['removed'] == 1 else 'ies'} "
+          f"({stats['removed_bytes'] / (1 << 20):.1f} MiB), kept "
+          f"{stats['kept']} ({stats['kept_bytes'] / (1 << 20):.1f} "
+          f"MiB)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="tyr-repro",
@@ -215,6 +279,64 @@ def build_parser() -> argparse.ArgumentParser:
     exp_p.add_argument("--progress", action="store_true",
                        help="live done/total, cache-hit rate, and ETA "
                             "line on stderr")
+    exp_p.add_argument("--hosts", default=None,
+                       metavar="HOST:PORT,...",
+                       help="comma-separated tyr-repro worker-serve "
+                            "agents to shard the sweep across "
+                            "(alongside --jobs local workers; "
+                            "--jobs 0 runs purely remote)")
+    exp_p.add_argument("--cost-log", action="append", default=None,
+                       metavar="FILE",
+                       help="extra JSONL run log(s) whose historical "
+                            "wall_s seed the longest-first scheduler "
+                            "(--run-log, if a path, is always "
+                            "consulted)")
+
+    ws_p = sub.add_parser(
+        "worker-serve",
+        help="serve this host's fork pool to remote sweeps over TCP",
+    )
+    ws_p.add_argument("--port", type=int, required=True,
+                      help="TCP port to listen on")
+    ws_p.add_argument("--bind", default="127.0.0.1",
+                      help="interface to bind (default 127.0.0.1; the "
+                           "protocol is unauthenticated pickle -- "
+                           "expose it to trusted networks only)")
+    ws_p.add_argument("--jobs", "-j", type=int, default=None,
+                      help="forked workers to run (default: cores-1)")
+    ws_p.add_argument("--cache-dir", default=None,
+                      help="result cache consulted before running "
+                           "anything (default $REPRO_CACHE_DIR or "
+                           ".repro-cache)")
+    ws_p.add_argument("--no-cache", action="store_true",
+                      help="run every spec, cache nothing")
+    ws_p.add_argument("--serve-once", action="store_true",
+                      help="exit after one client session (tests/CI)")
+    ws_p.add_argument("--fail-after", type=int, default=None,
+                      metavar="N",
+                      help="chaos hook: hard-exit after streaming N "
+                           "results (failover drills)")
+
+    cache_p = sub.add_parser("cache",
+                             help="manage the on-disk result cache")
+    cache_sub = cache_p.add_subparsers(dest="cache_command",
+                                       required=True)
+    gc_p = cache_sub.add_parser(
+        "gc",
+        help="prune cached results/plans, least-recently-used first",
+    )
+    gc_p.add_argument("--max-size", type=parse_size, default=None,
+                      metavar="SIZE",
+                      help="keep at most SIZE bytes of entries "
+                           "(e.g. 500M, 2G), evicting LRU by mtime")
+    gc_p.add_argument("--max-age", type=parse_age, default=None,
+                      metavar="AGE",
+                      help="drop entries not used for AGE "
+                           "(e.g. 7d, 12h, 900s)")
+    gc_p.add_argument("--cache-dir", default=None,
+                      help="cache directory (default $REPRO_CACHE_DIR "
+                           "or .repro-cache); the nested plans/ "
+                           "compile cache is pruned too")
 
     ins_p = sub.add_parser(
         "inspect", help="show a workload's concurrent blocks"
@@ -279,6 +401,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_trace(args)
         if args.command == "profile":
             return _cmd_profile(args)
+        if args.command == "worker-serve":
+            return _cmd_worker_serve(args)
+        if args.command == "cache":
+            return _cmd_cache_gc(args)
     except ReproError as err:
         print(f"error: {err}", file=sys.stderr)
         return 1

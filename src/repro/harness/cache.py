@@ -35,6 +35,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.sim.metrics import ExecutionResult
@@ -52,7 +53,9 @@ CACHE_VERSION = 3
 #: (:mod:`repro.sim.codegen`, stored as ``kernels-<family>`` kinds)
 #: change shape.
 #: v2: generated kernel artifacts added alongside the lowered graphs.
-PLAN_VERSION = 2
+#: v3: queued kernels track the minimum due-cycle and skip memory
+#: response delivery entirely on cycles where no load matures.
+PLAN_VERSION = 3
 
 DEFAULT_ROOT = ".repro-cache"
 
@@ -90,14 +93,21 @@ class _PickleStore:
 
     def get(self, key: str):
         """The cached object for ``key``, or None (counted as a miss)."""
+        path = self._path(key)
         try:
-            with open(self._path(key), "rb") as fh:
+            with open(path, "rb") as fh:
                 obj = pickle.load(fh)
         except (OSError, pickle.PickleError, EOFError, ValueError,
                 AttributeError, ImportError):
             self.misses += 1
             return None
         self.hits += 1
+        try:
+            # Touch on hit: entry mtime approximates last *use*, so
+            # ``gc``'s LRU eviction spares what sweeps actually read.
+            os.utime(path)
+        except OSError:
+            pass
         return obj
 
     def put(self, key: str, obj) -> None:
@@ -117,6 +127,63 @@ class _PickleStore:
             except OSError:
                 pass
             raise
+
+    def gc(self, max_size: Optional[int] = None,
+           max_age: Optional[float] = None) -> Dict[str, int]:
+        """Prune entries, LRU by mtime (:meth:`get` touches on hit).
+
+        ``max_age`` (seconds) first removes every entry older than
+        that; ``max_size`` (bytes) then deletes oldest-first until the
+        surviving entries fit the budget. Walks every ``*.pkl`` under
+        the root recursively, so a :class:`ResultCache` gc also covers
+        the ``plans/`` compile cache nested inside it. Entries that
+        vanish mid-walk (a concurrent sweep or gc) are skipped, never
+        an error. Returns ``{"kept", "removed", "kept_bytes",
+        "removed_bytes"}``.
+        """
+        entries = []  # (mtime, size, path)
+        for dirpath, _, filenames in os.walk(self.root):
+            for name in filenames:
+                if not name.endswith(".pkl"):
+                    continue
+                path = os.path.join(dirpath, name)
+                try:
+                    st = os.stat(path)
+                except OSError:
+                    continue
+                entries.append((st.st_mtime, st.st_size, path))
+
+        doomed = []
+        if max_age is not None:
+            cutoff = time.time() - max_age
+            doomed.extend(e for e in entries if e[0] < cutoff)
+            entries = [e for e in entries if e[0] >= cutoff]
+        if max_size is not None:
+            entries.sort(reverse=True)  # newest first
+            budget = int(max_size)
+            kept = []
+            for entry in entries:
+                if budget - entry[1] >= 0:
+                    budget -= entry[1]
+                    kept.append(entry)
+                else:
+                    doomed.append(entry)
+            entries = kept
+
+        removed = removed_bytes = 0
+        for _, size, path in doomed:
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            removed += 1
+            removed_bytes += size
+        return {
+            "kept": len(entries),
+            "removed": removed,
+            "kept_bytes": sum(size for _, size, _ in entries),
+            "removed_bytes": removed_bytes,
+        }
 
     def stats(self) -> str:
         return (f"cache: {self.hits} hit(s), {self.misses} miss(es) "

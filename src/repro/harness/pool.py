@@ -40,7 +40,14 @@ and experiment driver:
   spec transition and a :class:`~repro.harness.runlog.ProgressLine`
   renders live done/total + cache-hit rate + ETA -- both opt-in via
   :class:`RunOptions` (CLI: ``experiment --timeout/--retries/
-  --run-log/--progress``).
+  --run-log/--progress``);
+* with ``RunOptions.hosts`` (CLI: ``experiment --hosts host:port,...``)
+  the same dispatch loop also shards specs across remote
+  ``tyr-repro worker-serve`` agents -- longest-processing-time-first
+  ordering, per-host work-stealing windows, cache federation, and
+  host failover live in :mod:`repro.harness.remote`; a lost host's
+  outstanding specs re-enter this loop's todo deque and the
+  outstanding-set continues to guarantee exactly-once delivery.
 """
 
 from __future__ import annotations
@@ -302,6 +309,16 @@ class RunOptions:
         ``False`` forces every spec through the closure interpreters
         (``--no-codegen``); metrics are identical, only host speed
         differs, so cached results are shared across both settings.
+    ``hosts``
+        ``host:port`` addresses of ``tyr-repro worker-serve`` agents
+        to shard the sweep across, alongside the local pool (CLI:
+        ``experiment --hosts``). With hosts, pending specs are
+        dispatched longest-processing-time-first (see
+        :mod:`repro.harness.remote`); ``jobs=0`` runs purely remote.
+    ``cost_logs``
+        Extra JSONL run-log paths whose historical ``wall_s`` seed
+        the LPT cost model (``run_log``, when it is a path, is always
+        consulted too).
     """
 
     timeout: Optional[float] = None
@@ -309,6 +326,8 @@ class RunOptions:
     run_log: Optional[object] = None
     progress: bool = False
     codegen: bool = True
+    hosts: Tuple[str, ...] = ()
+    cost_logs: Tuple[str, ...] = ()
 
 
 def _pool_worker(specs: List[RunSpec], tasks, results) -> None:
@@ -361,8 +380,9 @@ def _decode_outcome(ok: bool, blob: bytes,
 def _run_pool(specs: List[RunSpec], pending: Sequence[int],
               n_workers: int, opts: RunOptions, log: Optional[RunLog],
               deliver: Callable[[int, bool, object, float, int], None],
+              progress: Optional[ProgressLine] = None,
               ) -> None:
-    """Async dispatch loop over forked workers.
+    """Async dispatch loop over forked workers (and remote hosts).
 
     The parent assigns one spec at a time to each worker over a
     private task pipe (so it always knows which worker owns which
@@ -384,18 +404,40 @@ def _run_pool(specs: List[RunSpec], pending: Sequence[int],
       tears every worker down, so a 1000-spec sweep does not grind on
       after spec 3 failed.
 
+    With ``opts.hosts``, a :class:`repro.harness.remote.Fleet` shares
+    this loop's todo deque / attempts map / outstanding set: pending
+    specs are ordered longest-processing-time-first, every live host
+    is kept topped up to its work-stealing window before local workers
+    claim specs, and a lost host's outstanding specs re-enter the
+    front of the deque for the survivors (local workers included).
+    ``n_workers`` may then be 0 for a purely remote sweep.
+
     Stale results (a retried spec whose first worker managed to push
     an outcome before dying) are dropped via the ``outstanding`` set,
     so no spec is ever delivered twice.
     """
+    fleet = None
+    order: Sequence[int] = pending
+    if opts.hosts:
+        from repro.harness import remote  # lazy: avoids import cycle
+
+        fleet = remote.Fleet(opts, log)
+        order = fleet.lpt_order(specs, pending)
     ctx = multiprocessing.get_context("fork")
     results = ctx.Queue()
-    todo = deque(pending)
+    todo = deque(order)
     outstanding = set(pending)
     attempts = dict.fromkeys(pending, 0)
     workers: Dict[int, Tuple[multiprocessing.Process, object]] = {}
     running: Dict[int, Tuple[int, float]] = {}
     delivered = 0
+
+    def finish(index: int, ok: bool, payload: object, wall: float,
+               source) -> None:
+        nonlocal delivered
+        outstanding.discard(index)
+        delivered += 1
+        deliver(index, ok, payload, wall, source)
 
     def spawn() -> None:
         tasks = ctx.SimpleQueue()
@@ -427,8 +469,20 @@ def _run_pool(specs: List[RunSpec], pending: Sequence[int],
             proc.join()
         return proc
 
+    if fleet is not None:
+        fleet.bind(todo, attempts, outstanding)
+        fleet.connect()
+
     try:
         while delivered < len(pending):
+            # Remote hosts steal from the shared todo deque first:
+            # their dispatch has round-trip latency to hide, the local
+            # workers' does not.
+            if fleet is not None:
+                fleet.refill(specs)
+                fleet.require_capacity(n_workers,
+                                       len(pending) - delivered)
+
             # Keep the pool at strength and every worker busy.
             want = min(n_workers, len(todo) + len(running))
             while len(workers) < want:
@@ -440,28 +494,48 @@ def _run_pool(specs: List[RunSpec], pending: Sequence[int],
 
             # Wait for the next outcome, but wake early for the
             # nearest deadline (and periodically, for crash checks).
-            wait = 0.2
+            wait = 0.2 if fleet is None else 0.05
             if opts.timeout is not None and running:
                 now = time.monotonic()
                 deadline = (min(t0 for _, t0 in running.values())
                             + opts.timeout)
                 wait = min(wait, max(0.01, deadline - now))
             batch = []
-            try:
-                batch.append(results.get(timeout=wait))
-                while True:
-                    batch.append(results.get_nowait())
-            except queue_mod.Empty:
-                pass
+            if workers:
+                try:
+                    batch.append(results.get(timeout=wait))
+                    while True:
+                        batch.append(results.get_nowait())
+                except queue_mod.Empty:
+                    pass
             for index, pid, wall, ok, blob in batch:
                 if running.get(pid, (None,))[0] == index:
                     del running[pid]
                 if index not in outstanding:
                     continue  # stale result of a retried spec
-                outstanding.discard(index)
-                delivered += 1
                 ok, payload = _decode_outcome(ok, blob, specs[index])
-                deliver(index, ok, payload, wall, pid)
+                if fleet is not None and progress is not None:
+                    progress.host_result("local")
+                finish(index, ok, payload, wall, pid)
+
+            # Remote results: block here only when there is no local
+            # pool to wait on (a purely remote sweep must not spin).
+            if fleet is not None:
+                block = wait if not workers else 0.0
+                for (host, index, ok, blob, wall,
+                     cached) in fleet.poll(block):
+                    if index not in outstanding:
+                        continue  # host failover raced a survivor
+                    ok, payload = _decode_outcome(ok, blob,
+                                                  specs[index])
+                    if cached and log:
+                        log.event("remote-cache-hit", index=index,
+                                  spec=specs[index].describe(),
+                                  host=host.name)
+                    if progress is not None:
+                        progress.host_result(host.name)
+                    finish(index, ok, payload, wall, host.name)
+                fleet.check_hung()
 
             # Crash detection -- after draining, so a worker that
             # completed its spec and then died is not misread as a
@@ -482,9 +556,7 @@ def _run_pool(specs: List[RunSpec], pending: Sequence[int],
                                   attempt=attempts[index])
                     todo.append(index)
                 else:
-                    outstanding.discard(index)
-                    delivered += 1
-                    deliver(index, False, WorkerCrashError(
+                    finish(index, False, WorkerCrashError(
                         f"worker pid {pid} (exit code {proc.exitcode})"
                         f" died running {spec.describe()}; giving up "
                         f"after {attempts[index]} attempt(s)"),
@@ -506,13 +578,13 @@ def _run_pool(specs: List[RunSpec], pending: Sequence[int],
                                   wall_s=round(now - t0, 3),
                                   timeout_s=opts.timeout)
                     if index in outstanding:
-                        outstanding.discard(index)
-                        delivered += 1
-                        deliver(index, False, RunTimeoutError(
+                        finish(index, False, RunTimeoutError(
                             f"run exceeded the {opts.timeout:g}s "
                             f"wall-clock timeout: {spec.describe()}"),
                             now - t0, pid)
     finally:
+        if fleet is not None:
+            fleet.close()
         for pid in list(workers):
             retire(pid)
         results.close()
@@ -620,15 +692,21 @@ def run_specs(specs: Sequence[RunSpec], jobs: int = 1,
                 log.event("queued", index=i, spec=spec.describe())
             pending.append(i)
 
+        use_fleet = bool(pending) and bool(opts.hosts)
         use_pool = bool(pending) and (
-            (jobs > 1 and len(pending) > 1) or opts.timeout is not None)
+            use_fleet or (jobs > 1 and len(pending) > 1)
+            or opts.timeout is not None)
         if pending and (use_pool or plan_cache is not None):
             precompile_specs([specs[i] for i in pending], plan_cache)
         try:
             if use_pool:
-                _run_pool(specs, pending,
-                          max(1, min(jobs, len(pending))), opts, log,
-                          deliver)
+                # With a fleet, jobs=0 is legal: a purely remote
+                # sweep runs no local workers at all.
+                n_local = max(0, min(jobs, len(pending)))
+                if not use_fleet:
+                    n_local = max(1, n_local)
+                _run_pool(specs, pending, n_local, opts, log,
+                          deliver, progress)
             else:
                 for i in pending:
                     if log:

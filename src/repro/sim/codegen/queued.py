@@ -306,6 +306,13 @@ def _emit_node(w: Writer, graph: FlatGraph, nid: int,
         var("if queue is None:")
         var.indent()
         var(f"inflight[{nid}] = queue = deque()")
+        # A new queue's head may mature before every other head; an
+        # append behind an existing head never can (head-of-line
+        # blocking), so only this arm can lower the delivery bound.
+        var("if due < due_box[0]:")
+        var.indent()
+        var("due_box[0] = due")
+        var.dedent()
         var.dedent()
         var("queue.append((due, value))")
         var.dedent()
@@ -321,7 +328,8 @@ def _emit_node(w: Writer, graph: FlatGraph, nid: int,
             w, var,
             [("mem_load", "mem_load"), ("inflight", "inflight"),
              ("metrics", "metrics"), ("latency", "latency"),
-             ("load_delay", "load_delay"), ("deque", "deque")])
+             ("load_delay", "load_delay"), ("deque", "deque"),
+             ("due_box", "due_box")])
         w.dedent()
         w(f"fns[{nid}] = {name}")
         w()
@@ -434,6 +442,7 @@ def generate(graph: FlatGraph) -> str:
       '\nplan, never edited. The closure interpreter in'
       '\nsim/queued/engine.py is the bit-identical reference."""')
     w("from collections import deque")
+    w("from sys import maxsize")
     w()
     w("from repro.errors import SimulationError")
     w("from repro.ir.ops import OP_INFO, Op")
@@ -465,6 +474,7 @@ def generate(graph: FlatGraph) -> str:
     w("mem_store = E.memory.store")
     w("metrics = E.metrics")
     w("inflight = E._inflight")
+    w("due_box = E._due_box")
     w("latency = E.load_latency")
     if has_mu:
         w("mu_state = E._mu_state")
@@ -492,6 +502,7 @@ def generate(graph: FlatGraph) -> str:
     w("issue_width = E.issue_width")
     w("max_cycles = E.max_cycles")
     w("inflight = E._inflight")
+    w("due_box = E._due_box")
     w("stall = E._stall_for_memory")
     w("sync = E.load_latency > 1")
     w("sample_traces = metrics.sample_traces")
@@ -522,7 +533,10 @@ def generate(graph: FlatGraph) -> str:
     # Inline _deliver_memory_responses against the dense fresh list
     # (``now`` is the local cycle counter; the invariant
     # metrics.cycles == cycles holds whenever loads can be in flight).
-    w("if inflight:")
+    # Skipped outright until the earliest queue head matures -- no
+    # head can be due before due_box[0] (head-of-line blocking), so
+    # cycles without a maturing load never scan the in-flight map.
+    w("if inflight and cycles >= due_box[0]:")
     w.indent()
     w("done = None")
     w("for lnid, queue in inflight.items():")
@@ -563,6 +577,8 @@ def generate(graph: FlatGraph) -> str:
     w("del inflight[lnid]")
     w.dedent()
     w.dedent()
+    w("due_box[0] = min((q[0][0] for q in inflight.values()),")
+    w("                 default=maxsize)")
     w.dedent()
     w("fired = 0")
     # When the issue width covers every candidate the budget can

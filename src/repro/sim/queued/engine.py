@@ -22,6 +22,7 @@ in an int-keyed counter map instead of ``(node, port)`` tuples.
 
 from __future__ import annotations
 
+import sys
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
 
@@ -97,6 +98,13 @@ class QueuedEngine:
         #: FIFO-synchronized machine must keep every edge's token
         #: stream ordered even under variable memory latency.
         self._inflight: Dict[int, Deque[Tuple[int, object]]] = {}
+        #: Lower bound on the minimum due-cycle over the *heads* of
+        #: the in-flight queues (``sys.maxsize`` when none). Responses
+        #: are head-of-line blocked per queue, so no response can
+        #: mature before this cycle and the per-cycle delivery scan is
+        #: skipped entirely until then. Appending behind a pending
+        #: head never moves it; delivery recomputes it exactly.
+        self._due_box: List[int] = [sys.maxsize]
         # Tokens pushed this cycle become visible next cycle
         # (single-cycle latency, matching the tagged engine's timing).
         # Keyed by node_id * stride + port (ints hash faster than
@@ -180,12 +188,13 @@ class QueuedEngine:
         try_fns = self._try_fire_fns
         issue_width = self.issue_width
         max_cycles = self.max_cycles
+        due_box = self._due_box
         while True:
             # Deterministic order: ascending node id.
             candidates = sorted(nc)
             nc.clear()
             fresh.clear()
-            if self._inflight:
+            if self._inflight and metrics.cycles >= due_box[0]:
                 self._deliver_memory_responses()
             fired = 0
             budget = issue_width
@@ -229,11 +238,12 @@ class QueuedEngine:
         try_fns = self._try_fire_fns
         issue_width = self.issue_width
         max_cycles = self.max_cycles
+        due_box = self._due_box
         while True:
             candidates = sorted(nc)
             nc.clear()
             fresh.clear()
-            if self._inflight:
+            if self._inflight and metrics.cycles >= due_box[0]:
                 self._deliver_memory_responses()
             fired = 0
             budget = issue_width
@@ -277,7 +287,7 @@ class QueuedEngine:
         cycle budget inside a memory stall.
         """
         metrics = self.metrics
-        due = min(q[0][0] for q in self._inflight.values())
+        due = self._due_box[0]
         stop = min(due, self.max_cycles)
         metrics.sample_idle(self._livebox[0], stop - metrics.cycles)
         if metrics.cycles >= self.max_cycles:
@@ -297,6 +307,9 @@ class QueuedEngine:
                 done.append(nid)
         for nid in done:
             del self._inflight[nid]
+        self._due_box[0] = min(
+            (q[0][0] for q in self._inflight.values()),
+            default=sys.maxsize)
 
     def _raise_deadlock(self) -> None:
         stuck = []
@@ -528,6 +541,7 @@ class QueuedEngine:
             mem_load = self.memory.load
             latency = self.load_latency
             inflight = self._inflight
+            due_box = self._due_box
             metrics = self.metrics
 
             def try_fire_load():
@@ -583,6 +597,11 @@ class QueuedEngine:
                     queue = inflight.get(nid)
                     if queue is None:
                         inflight[nid] = queue = deque()
+                        # A new head may mature before anything
+                        # currently tracked; an append behind an
+                        # existing head cannot (head-of-line order).
+                        if due < due_box[0]:
+                            due_box[0] = due
                     queue.append((due, value))
                 return True
             return try_fire_load

@@ -1,0 +1,134 @@
+"""Cache garbage collection: LRU-by-mtime pruning of the result and
+compile caches, plus the ``tyr-repro cache gc`` CLI."""
+
+import os
+import time
+
+import pytest
+
+from repro.cli import main, parse_age, parse_size
+from repro.harness.cache import CompileCache, ResultCache, plan_key
+
+
+def _fill(cache, n, size=1000):
+    keys = [f"{i:02x}{'0' * 62}" for i in range(n)]
+    for key in keys:
+        cache.put(key, b"x" * size)
+    return keys
+
+
+def _backdate(cache, key, age_s):
+    path = cache._path(key)
+    past = time.time() - age_s
+    os.utime(path, (past, past))
+
+
+def test_gc_by_age_removes_only_stale_entries(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    keys = _fill(cache, 4)
+    _backdate(cache, keys[0], 3600)
+    _backdate(cache, keys[1], 3600)
+    stats = cache.gc(max_age=60)
+    assert stats["removed"] == 2
+    assert stats["kept"] == 2
+    assert cache.get(keys[0]) is None
+    assert cache.get(keys[2]) is not None
+
+
+def test_gc_by_size_keeps_newest_within_budget(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    keys = _fill(cache, 4)
+    entry = os.path.getsize(cache._path(keys[0]))
+    # Stagger mtimes: keys[0] oldest ... keys[3] newest.
+    for i, key in enumerate(keys):
+        _backdate(cache, key, (len(keys) - i) * 100)
+    stats = cache.gc(max_size=2 * entry)
+    assert stats["removed"] == 2
+    assert stats["removed_bytes"] == 2 * entry
+    assert cache.get(keys[0]) is None
+    assert cache.get(keys[1]) is None
+    assert cache.get(keys[2]) is not None
+    assert cache.get(keys[3]) is not None
+
+
+def test_get_bumps_mtime_so_hits_survive_lru(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    keys = _fill(cache, 2)
+    for key in keys:
+        _backdate(cache, key, 1000)
+    assert cache.get(keys[0]) is not None  # touch: now the newest
+    entry = os.path.getsize(cache._path(keys[0]))
+    stats = cache.gc(max_size=entry)
+    assert stats["removed"] == 1
+    assert cache.get(keys[0]) is not None
+    assert cache.get(keys[1]) is None
+
+
+def test_gc_covers_nested_plan_cache(tmp_path):
+    """A ResultCache gc walks recursively, so the ``plans/`` compile
+    cache nested under the same root is pruned by the same command."""
+    cache = ResultCache(str(tmp_path))
+    plans = CompileCache(os.path.join(str(tmp_path), "plans"))
+    plans.put_plan("f" * 64, "flat", {"big": "artifact"})
+    _backdate(plans, plan_key("f" * 64, "flat"), 3600)
+    stats = cache.gc(max_age=60)
+    assert stats["removed"] == 1
+    assert plans.get_plan("f" * 64, "flat") is None
+
+
+def test_gc_empty_cache_is_harmless(tmp_path):
+    stats = ResultCache(str(tmp_path / "nothing")).gc(max_age=0)
+    assert stats == {"kept": 0, "removed": 0,
+                     "kept_bytes": 0, "removed_bytes": 0}
+
+
+# -- CLI ---------------------------------------------------------------
+
+def test_cli_cache_gc_by_age(tmp_path, capsys):
+    root = str(tmp_path / "cache")
+    cache = ResultCache(root)
+    keys = _fill(cache, 3)
+    for key in keys:
+        _backdate(cache, key, 3600)
+    rc = main(["cache", "gc", "--max-age", "1m", "--cache-dir", root])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "removed 3 entr" in out
+    assert all(cache.get(k) is None for k in keys)
+
+
+def test_cli_cache_gc_requires_a_bound(tmp_path, capsys):
+    rc = main(["cache", "gc", "--cache-dir", str(tmp_path)])
+    assert rc == 2
+    assert "--max-size" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize("text,expected", [
+    ("512", 512),
+    ("10k", 10 * 1024),
+    ("1.5m", int(1.5 * 1024 ** 2)),
+    ("2G", 2 * 1024 ** 3),
+    ("2gb", 2 * 1024 ** 3),
+])
+def test_parse_size_units(text, expected):
+    assert parse_size(text) == expected
+
+
+@pytest.mark.parametrize("text,expected", [
+    ("90", 90.0),
+    ("0s", 0.0),
+    ("5m", 300.0),
+    ("2h", 7200.0),
+    ("7d", 7 * 86400.0),
+    ("1w", 7 * 86400.0),
+])
+def test_parse_age_units(text, expected):
+    assert parse_age(text) == pytest.approx(expected)
+
+
+def test_parse_size_rejects_garbage():
+    import argparse
+    with pytest.raises(argparse.ArgumentTypeError):
+        parse_size("lots")
+    with pytest.raises(argparse.ArgumentTypeError):
+        parse_age("soon")

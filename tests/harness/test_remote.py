@@ -1,0 +1,363 @@
+"""Distributed sweep execution: wire protocol, version handshake,
+cost-model LPT scheduling, loopback fleets, cache federation, and
+host failover.
+
+Loopback servers are real ``worker-serve`` processes forked from the
+test (so ``monkeypatch`` on :mod:`repro.harness.pool` at fork time is
+inherited, the same trick :mod:`tests.harness.test_pool_failures`
+uses), bound to port 0 and discovered through a ``ready`` queue.
+"""
+
+import contextlib
+import json
+import multiprocessing
+import pickle
+import socket
+import struct
+
+import pytest
+
+from repro.errors import HostLostError, RemoteProtocolError
+from repro.harness import pool, remote
+from repro.harness.cache import ResultCache
+from repro.harness.pool import RunOptions, cache_key, run_specs, spec_for
+from repro.harness.remote import (
+    CostModel,
+    HostConnection,
+    hello_payload,
+    lpt_order,
+    recv_frame,
+    send_frame,
+    serve,
+    simulate_makespan,
+)
+from repro.sim.metrics import ExecutionResult
+from repro.workloads import build_workload
+
+REAL_RUN_ONE = pool.run_one
+
+
+def _tag_specs(tag_counts):
+    wl = build_workload("dmv", "tiny")
+    return [spec_for(wl, "tyr", {"tags": t}) for t in tag_counts]
+
+
+@contextlib.contextmanager
+def worker_server(**kwargs):
+    """A real ``worker-serve`` process on an ephemeral loopback port.
+
+    Yields ``(address, process)``. The server process is *not* a
+    daemon (it forks its own pool workers), so teardown terminates it
+    explicitly.
+    """
+    ctx = multiprocessing.get_context("fork")
+    ready = ctx.Queue()
+    kwargs.setdefault("jobs", 1)
+    kwargs.setdefault("use_cache", False)
+    proc = ctx.Process(target=serve,
+                       kwargs=dict(port=0, ready=ready, quiet=True,
+                                   **kwargs))
+    proc.start()
+    try:
+        port = ready.get(timeout=30)
+        yield f"127.0.0.1:{port}", proc
+    finally:
+        if proc.is_alive():
+            proc.terminate()
+        proc.join(10)
+
+
+# -- framing -----------------------------------------------------------
+
+def test_frame_roundtrip_over_socketpair():
+    a, b = socket.socketpair()
+    try:
+        payload = ("run", 7, {"nested": [1, 2, 3]})
+        send_frame(a, payload)
+        assert recv_frame(b) == payload
+    finally:
+        a.close()
+        b.close()
+
+
+def test_oversize_frame_is_rejected_before_allocation():
+    a, b = socket.socketpair()
+    try:
+        a.sendall(struct.pack("!Q", remote.MAX_FRAME + 1))
+        with pytest.raises(RemoteProtocolError) as exc:
+            recv_frame(b)
+        assert "exceeds" in str(exc.value)
+    finally:
+        a.close()
+        b.close()
+
+
+# -- handshake ---------------------------------------------------------
+
+def test_version_mismatch_rejected_with_clear_error():
+    """A CACHE_VERSION skew is refused in the JSON handshake with an
+    error naming both versions -- never a pickle explosion."""
+    bad = hello_payload()
+    bad["cache_version"] = -1
+    inbox = None
+    with worker_server() as (address, _):
+        with pytest.raises(RemoteProtocolError) as exc:
+            HostConnection(address, inbox, hello=bad)
+    message = str(exc.value)
+    assert "rejected the handshake" in message
+    assert "cache_version mismatch" in message
+    assert "client -1" in message
+
+
+def test_protocol_mismatch_rejected():
+    bad = hello_payload()
+    bad["protocol"] = 999
+    with worker_server() as (address, _):
+        with pytest.raises(RemoteProtocolError) as exc:
+            HostConnection(address, None, hello=bad)
+    assert "protocol mismatch" in str(exc.value)
+
+
+def test_non_tyr_client_gets_json_rejection():
+    """Garbage hello (not even our magic) -> structured JSON refusal,
+    and the connection never reaches the pickle layer."""
+    with worker_server() as (address, _):
+        host, port = address.rsplit(":", 1)
+        sock = socket.create_connection((host, int(port)), timeout=10)
+        try:
+            blob = json.dumps({"hello": "world"}).encode()
+            sock.sendall(struct.pack("!Q", len(blob)) + blob)
+            (n,) = struct.unpack("!Q", sock.recv(8))
+            reply = json.loads(sock.recv(n).decode())
+        finally:
+            sock.close()
+    assert reply["ok"] is False
+    assert "bad hello" in reply["error"]
+
+
+def test_bad_address_raises_protocol_error():
+    with pytest.raises(RemoteProtocolError) as exc:
+        HostConnection("no-port-here", None)
+    assert "expected host:port" in str(exc.value)
+
+
+# -- cost model + LPT --------------------------------------------------
+
+def _fake_log(path, walls):
+    with open(path, "w") as fh:
+        fh.write("not json\n")  # must be skipped, not fatal
+        for desc, wall in walls:
+            fh.write(json.dumps({"event": "finished", "ok": True,
+                                 "spec": desc, "wall_s": wall}) + "\n")
+        fh.write(json.dumps({"event": "finished", "ok": False,
+                             "spec": "workload=x/y machine=z",
+                             "wall_s": 999.0}) + "\n")
+
+
+def test_cost_model_exact_and_family_estimates(tmp_path):
+    specs = _tag_specs((2, 4, 8))
+    log = tmp_path / "hist.jsonl"
+    _fake_log(log, [(specs[0].describe(), 2.0),
+                    (specs[0].describe(), 4.0)])
+    model = CostModel.from_run_logs([str(log)])
+    assert model.n_observations == 2  # failures excluded
+    # Exact history: the mean.
+    assert model.estimate(specs[0]) == pytest.approx(3.0)
+    # Same workload/scale/machine, different config: family mean.
+    assert model.estimate(specs[1]) == pytest.approx(3.0)
+
+
+def test_cost_model_heuristic_sorts_unknown_specs_first():
+    """No history at all: the graph-size x max_cycles heuristic is
+    offset above any plausible measured wall time, so unmeasured specs
+    are scheduled pessimistically early."""
+    model = CostModel()
+    spec = _tag_specs((4,))[0]
+    assert model.estimate(spec) >= remote._HEURISTIC_FLOOR
+
+
+def test_cost_model_missing_log_degrades_gracefully(tmp_path):
+    model = CostModel.from_run_logs([str(tmp_path / "absent.jsonl")])
+    assert model.n_observations == 0
+
+
+def test_lpt_reduces_makespan_at_least_20pct(tmp_path):
+    """The acceptance criterion: on a skewed sweep (12 short jobs, one
+    long job submitted last) at 4 workers, LPT ordering shrinks the
+    greedy-list-scheduling makespan by >= 20% vs submission order.
+
+    Costs [10]*12 + [40]: submission order finishes at 70 (the long
+    job starts only after three rounds of short ones), LPT at 40 -- a
+    43% reduction, asserted with headroom.
+    """
+    specs = _tag_specs(tuple(range(1, 14)))
+    costs = [10.0] * 12 + [40.0]
+    log = tmp_path / "hist.jsonl"
+    _fake_log(log, [(s.describe(), c) for s, c in zip(specs, costs)])
+    model = CostModel.from_run_logs([str(log)])
+
+    submission = list(range(13))
+    lpt = lpt_order(submission, specs, model)
+    assert lpt[0] == 12  # the long job is dispatched first
+
+    fifo_makespan = simulate_makespan([costs[i] for i in submission], 4)
+    lpt_makespan = simulate_makespan([costs[i] for i in lpt], 4)
+    assert fifo_makespan == pytest.approx(70.0)
+    assert lpt_makespan == pytest.approx(40.0)
+    assert lpt_makespan <= 0.8 * fifo_makespan
+
+
+def test_lpt_order_is_deterministic_on_ties():
+    model = CostModel()
+    specs = _tag_specs((2, 4))
+    for spec in specs:
+        model.record(spec.describe(), 5.0)
+    assert lpt_order([0, 1], specs, model) == [0, 1]
+    assert lpt_order([1, 0], specs, model) == [0, 1]
+
+
+# -- loopback fleets ---------------------------------------------------
+
+def _read_log(path):
+    with open(path) as fh:
+        return [json.loads(line) for line in fh]
+
+
+@pytest.mark.slow
+def test_distributed_fig05_byte_identical_to_serial(tmp_path):
+    """The tentpole guarantee: a fig05 sweep sharded over two loopback
+    worker-serve agents (plus one local worker) produces report data
+    byte-identical to the serial uncached run."""
+    from repro.harness.experiments import get_experiment
+
+    serial = get_experiment("fig05")(scale="tiny", jobs=1, cache=None)
+    log_path = str(tmp_path / "dist.jsonl")
+    with worker_server() as (addr_a, _), worker_server() as (addr_b, _):
+        options = RunOptions(hosts=(addr_a, addr_b), run_log=log_path)
+        distributed = get_experiment("fig05")(scale="tiny", jobs=1,
+                                              cache=None,
+                                              options=options)
+    assert (json.dumps(distributed.data, sort_keys=True)
+            == json.dumps(serial.data, sort_keys=True))
+
+    events = _read_log(log_path)
+    kinds = {ev["event"] for ev in events}
+    assert "host-connected" in kinds
+    connected = [ev for ev in events if ev["event"] == "host-connected"]
+    assert {ev["host"] for ev in connected} == {addr_a, addr_b}
+    assert "remote-dispatched" in kinds
+    assert "host-lost" not in kinds
+
+
+@pytest.mark.slow
+def test_purely_remote_sweep_with_jobs_zero(tmp_path):
+    """jobs=0 + hosts runs every spec remotely; results land in spec
+    order and match direct execution."""
+    specs = _tag_specs((2, 4, 6))
+    log_path = str(tmp_path / "remote.jsonl")
+    with worker_server(jobs=2) as (address, _):
+        out = run_specs(specs, jobs=0,
+                        options=RunOptions(hosts=(address,),
+                                           run_log=log_path))
+    assert all(isinstance(r, ExecutionResult) for r in out)
+    for spec, res in zip(specs, out):
+        direct = REAL_RUN_ONE(spec)
+        assert res.cycles == direct.cycles
+        assert res.results == direct.results
+    dispatched = [ev for ev in _read_log(log_path)
+                  if ev["event"] == "remote-dispatched"]
+    assert {ev["index"] for ev in dispatched} == {0, 1, 2}
+    assert {ev["host"] for ev in dispatched} == {address}
+
+
+@pytest.mark.slow
+def test_host_killed_mid_sweep_fails_over_to_survivor(tmp_path):
+    """The failover satellite: one of two workers dies hard mid-sweep
+    (fail_after chaos hook = an OOM-killed host); its outstanding
+    specs are redispatched and the sweep completes on the survivor,
+    with a host-lost event logged."""
+    specs = _tag_specs((2, 3, 4, 5, 6, 8))
+    log_path = str(tmp_path / "failover.jsonl")
+    with worker_server(fail_after=1) as (addr_doomed, doomed_proc), \
+            worker_server() as (addr_survivor, _):
+        out = run_specs(
+            specs, jobs=0,
+            options=RunOptions(hosts=(addr_doomed, addr_survivor),
+                               run_log=log_path))
+        doomed_proc.join(20)
+        assert doomed_proc.exitcode == 17  # it really died mid-sweep
+    assert all(isinstance(r, ExecutionResult) for r in out)
+    for spec, res in zip(specs, out):
+        direct = REAL_RUN_ONE(spec)
+        assert res.cycles == direct.cycles
+        assert res.results == direct.results
+
+    events = _read_log(log_path)
+    lost = [ev for ev in events if ev["event"] == "host-lost"]
+    assert [ev["host"] for ev in lost] == [addr_doomed]
+    finished = [ev for ev in events
+                if ev["event"] == "finished" and ev["ok"]]
+    assert len(finished) == len(specs)
+
+
+@pytest.mark.slow
+def test_remote_cache_federation(tmp_path, monkeypatch):
+    """A worker host consults its *own* ResultCache before running
+    anything: pre-warm the server-side cache, then plant a poisoned
+    run_one (inherited by the forked server) -- every spec must still
+    succeed, served from the federated cache, and be re-cached
+    client-side."""
+    server_cache_dir = str(tmp_path / "server-cache")
+    client_cache_dir = str(tmp_path / "client-cache")
+    specs = _tag_specs((2, 4))
+    run_specs(specs, cache=ResultCache(server_cache_dir))  # warm
+
+    def poisoned(spec):
+        raise AssertionError("engine ran despite a warm remote cache")
+
+    monkeypatch.setattr(pool, "run_one", poisoned)
+    log_path = str(tmp_path / "federation.jsonl")
+    with worker_server(use_cache=True,
+                       cache_dir=server_cache_dir) as (address, _):
+        client_cache = ResultCache(client_cache_dir)
+        out = run_specs(specs, jobs=0, cache=client_cache,
+                        options=RunOptions(hosts=(address,),
+                                           run_log=log_path))
+    assert all(isinstance(r, ExecutionResult) for r in out)
+    kinds = [ev["event"] for ev in _read_log(log_path)]
+    assert kinds.count("remote-cache-hit") == 2
+    # Federation converges: the client cache now holds both entries.
+    monkeypatch.setattr(pool, "run_one", REAL_RUN_ONE)
+    for spec in specs:
+        assert client_cache.get(cache_key(spec)) is not None
+
+
+def test_all_hosts_unreachable_with_no_local_pool(tmp_path):
+    """jobs=0 and every host down is a hard error, not a silent hang;
+    the unreachable host is logged as lost at connect time."""
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()  # nothing listens here now
+    log_path = str(tmp_path / "nohosts.jsonl")
+    with pytest.raises(HostLostError) as exc:
+        run_specs(_tag_specs((2, 4)), jobs=0,
+                  options=RunOptions(hosts=(f"127.0.0.1:{port}",),
+                                     run_log=log_path))
+    assert "no workers" in str(exc.value)
+    lost = [ev for ev in _read_log(log_path)
+            if ev["event"] == "host-lost"]
+    assert len(lost) == 1
+    assert "connect failed" in lost[0]["error"]
+
+
+def test_unreachable_host_falls_back_to_local_pool(tmp_path):
+    """With local workers available, a dead host only costs capacity:
+    the sweep completes locally."""
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    out = run_specs(_tag_specs((2, 4)), jobs=2,
+                    options=RunOptions(hosts=(f"127.0.0.1:{port}",)))
+    assert all(isinstance(r, ExecutionResult) for r in out)

@@ -91,3 +91,34 @@ def test_wrong_arg_count_rejected():
     g = flatten(prog)
     with pytest.raises(SimulationError, match="args"):
         QueuedEngine(g, Memory()).run([1, 2, 3])
+
+
+def test_memory_delivery_skipped_until_a_load_matures():
+    """The per-cycle response scan only runs on cycles where the
+    earliest in-flight load head can mature: with load_latency=7 the
+    delivery hook fires far less often than once per cycle, and the
+    run is identical to an unwrapped engine."""
+    prog = lower_module(dmv_module())
+    g = flatten(prog)
+    full = [10] + [0] * (len(g.entry_sources) - 1)
+
+    def run(wrap):
+        mem = Memory(dmv_memory(10))
+        engine = QueuedEngine(g, mem, load_latency=7)
+        calls = [0]
+        if wrap:
+            real = engine._deliver_memory_responses
+
+            def counting():
+                calls[0] += 1
+                real()
+
+            engine._deliver_memory_responses = counting
+        return engine.run(full), mem, calls[0]
+
+    base, base_mem, _ = run(wrap=False)
+    res, mem, calls = run(wrap=True)
+    assert res.completed
+    assert mem["w"] == base_mem["w"] == dmv_expected(dmv_memory(10), 10)
+    assert res.cycles == base.cycles
+    assert 0 < calls < res.cycles
