@@ -175,8 +175,14 @@ def compare_records(path_a: str, path_b: str) -> int:
         fb = f"{b / 1000:.0f}k" if b else "-"
         if a and b:
             ratio = b / a
-            ratios.append(ratio)
-            fr = f"{ratio:.2f}x"
+            if ratio > 0:
+                ratios.append(ratio)
+                fr = f"{ratio:.2f}x"
+            else:
+                # A zero/negative throughput (a failed or hand-edited
+                # record) has no log; rate it n/a rather than letting
+                # math.log kill the whole table.
+                fr = "n/a"
         else:
             fr = "-"
         print(f"{key:<{width}}  {fa:>12}  {fb:>12}  {fr:>6}")

@@ -49,6 +49,8 @@ def _cmd_run(args) -> int:
         window=args.window,
         total_tags=args.total_tags,
     )
+    if args.cache:
+        kwargs["cache"] = args.cache
     for machine in args.machine:
         start = time.time()
         try:
@@ -137,8 +139,7 @@ def _cmd_profile(args) -> int:
     from repro.harness.ascii_plots import bar_chart, table
 
     wl = build_workload(args.workload, args.scale)
-    res = wl.run_checked(
-        args.machine,
+    kwargs = dict(
         profile=True,
         tags=args.tags,
         issue_width=args.issue_width,
@@ -146,10 +147,15 @@ def _cmd_profile(args) -> int:
         window=args.window,
         total_tags=args.total_tags,
     )
+    if args.cache:
+        kwargs["cache"] = args.cache
+    res = wl.run_checked(args.machine, **kwargs)
     prof = res.extra["profile"]
     if args.json:
-        print(json.dumps(prof.to_json_dict(), indent=2,
-                         sort_keys=True))
+        doc = prof.to_json_dict()
+        if "cache" in res.extra:
+            doc["cache"] = res.extra["cache"]
+        print(json.dumps(doc, indent=2, sort_keys=True))
         return 0
     print(f"{args.machine} on {args.workload} ({args.scale}): "
           f"{prof.cycles} cycles, {prof.instructions} instructions, "
@@ -157,6 +163,21 @@ def _cmd_profile(args) -> int:
     print()
     print(bar_chart(prof.stall_breakdown(),
                     title="cycles by stall reason", unit=" cy"))
+    if prof.memory_stall_split:
+        split = prof.memory_stall_split
+        print(f"memory stalls: {split.get('hit', 0)} cy on "
+              f"slower-level hits, {split.get('miss', 0)} cy on "
+              f"last-level misses")
+        print()
+    cache = res.extra.get("cache")
+    if cache:
+        rows = [(lvl["name"], lvl["geometry"], str(lvl["loads"]),
+                 str(lvl["load_hits"]), str(lvl["stores"]),
+                 f"{lvl['hit_rate']:.1%}", f"{lvl['mpki']:.1f}")
+                for lvl in cache["levels"]]
+        print(table(("level", "geometry", "loads", "load hits",
+                     "stores", "hit rate", "mpki"), rows,
+                    title=f"cache {cache['spec']}"))
     rows = [(label, str(fired), f"{cycles:.1f}")
             for label, fired, cycles in prof.top_nodes(args.top)]
     print(table(("node", "fired", "cycles"), rows,
@@ -244,6 +265,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--issue-width", type=int, default=128)
     run_p.add_argument("--queue-depth", type=int, default=4)
     run_p.add_argument("--window", type=int, default=8)
+    run_p.add_argument("--cache", default=None, metavar="SPEC",
+                       help="simulate a cache hierarchy, e.g. "
+                            "'line=8,miss=100,l1=64x4x1[,l2=...]'; "
+                            "hit rates land in the summary line")
 
     exp_p = sub.add_parser("experiment",
                            help="regenerate a paper figure/table")
@@ -376,6 +401,10 @@ def build_parser() -> argparse.ArgumentParser:
     prof_p.add_argument("--issue-width", type=int, default=128)
     prof_p.add_argument("--queue-depth", type=int, default=4)
     prof_p.add_argument("--window", type=int, default=8)
+    prof_p.add_argument("--cache", default=None, metavar="SPEC",
+                        help="simulate a cache hierarchy (splits "
+                             "memory stalls into hit/miss components "
+                             "and prints per-level hit rates)")
     prof_p.add_argument("--top", type=int, default=10,
                         help="rows in the hotspot table (default 10)")
     prof_p.add_argument("--json", action="store_true",

@@ -44,7 +44,9 @@ from repro.sim.metrics import ExecutionResult
 #: golden-metrics file is regenerated) or the pickled entry format.
 #: v2: traces are run-length encoded (PR 3).
 #: v3: results may carry stall-attribution profiles in ``extra``.
-CACHE_VERSION = 3
+#: v4: results may carry cache-hierarchy statistics in ``extra`` and
+#: profiles a memory_stall hit/miss split.
+CACHE_VERSION = 4
 
 #: Version of the *compiled-plan* cache (:class:`CompileCache`). Bump
 #: when :func:`repro.compiler.elaborate.elaborate` /
@@ -55,7 +57,9 @@ CACHE_VERSION = 3
 #: v2: generated kernel artifacts added alongside the lowered graphs.
 #: v3: queued kernels track the minimum due-cycle and skip memory
 #: response delivery entirely on cycles where no load matures.
-PLAN_VERSION = 3
+#: v4: kernels gain cache-probe load/store firing rules selected at
+#: bind time.
+PLAN_VERSION = 4
 
 DEFAULT_ROOT = ".repro-cache"
 

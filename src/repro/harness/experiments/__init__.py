@@ -16,6 +16,7 @@ from repro.harness.experiments.base import (
 from repro.harness.experiments import (  # noqa: F401,E402
     ext_depth_tags,
     ext_latency,
+    ext_locality,
     ext_token_store,
     fig02_state_trace,
     fig05_exec_shapes,

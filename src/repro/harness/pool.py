@@ -660,6 +660,18 @@ def run_specs(specs: Sequence[RunSpec], jobs: int = 1,
                     log.event("profile", index=index,
                               spec=spec.describe(),
                               **prof.summary_fields())
+                cstats = getattr(payload, "extra", {}).get("cache")
+                if cstats is not None:
+                    log.event("cache", index=index,
+                              spec=spec.describe(),
+                              cache_spec=cstats["spec"],
+                              levels=[
+                                  [lvl["name"],
+                                   lvl["loads"], lvl["load_hits"],
+                                   lvl["stores"], lvl["store_hits"],
+                                   round(lvl["hit_rate"], 6),
+                                   round(lvl["mpki"], 3)]
+                                  for lvl in cstats["levels"]])
             progress.finished()
             return
         tolerated = isinstance(payload, tolerate)

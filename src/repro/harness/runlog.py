@@ -21,6 +21,11 @@ Two small, dependency-free surfaces that
                   ``stall_cycles``, ``top_nodes`` -- the run carried a
                   stall-attribution profile (``profile=True`` specs);
                   follows that spec's ``finished`` event
+  ``cache``       ``index``, ``spec``, ``cache_spec``, ``levels``
+                  (per level ``[name, loads, load_hits, stores,
+                  store_hits, hit_rate, mpki]``) -- the run simulated
+                  the cache-hierarchy memory model (``cache=`` specs);
+                  follows that spec's ``finished`` event
   ``retried``     ``index``, ``spec``, ``worker``, ``exitcode``,
                   ``attempt`` -- the worker died and the spec was
                   redispatched to a fresh worker

@@ -192,11 +192,21 @@ class CompiledWorkload:
             load_latency: int = 1,
             max_cycles: int = 50_000_000,
             profile: bool = False,
-            codegen: bool = True) -> ExecutionResult:
+            codegen: bool = True,
+            cache=None) -> ExecutionResult:
         """Run this workload on ``machine`` and return its metrics.
 
         The returned result's declared program outputs are in
         ``result.extra["declared_results"]``.
+
+        ``cache`` configures the stateful cache-hierarchy memory model
+        (:mod:`repro.sim.cache`): a :class:`~repro.sim.cache.CacheConfig`,
+        a spec string like ``"line=8,miss=100,l1=64x4x1"``, or an
+        equivalent dict.  Load delays then come from set-associative
+        cache probes instead of the hash-based ``load_latency`` model
+        (the two are mutually exclusive), stores probe the model too,
+        and per-level hit/miss statistics land in
+        ``result.extra["cache"]``.
 
         ``codegen=True`` (the default) dispatches through the
         generated plan kernels (:mod:`repro.sim.codegen`); profiled,
@@ -212,6 +222,17 @@ class CompiledWorkload:
         process instead.
         """
         full_args = self.entry_args(args)
+        cache_model = None
+        if cache is not None:
+            from repro.sim.cache import CacheConfig, CacheModel
+
+            if load_latency > 1:
+                raise SimulationError(
+                    "cache= and load_latency>1 are mutually "
+                    "exclusive: the cache model replaces the "
+                    "hash-based load-delay model"
+                )
+            cache_model = CacheModel(CacheConfig.coerce(cache), memory)
         use_codegen = codegen and not (profile or record_trace
                                        or track_occupancy)
         kernels = (self.kernels(KERNEL_FAMILY[machine])
@@ -236,6 +257,7 @@ class CompiledWorkload:
                 max_cycles=max_cycles,
                 profile=profile,
                 kernels=kernels,
+                cache=cache_model,
             )
         elif machine == "ordered":
             engine = QueuedEngine(
@@ -243,6 +265,7 @@ class CompiledWorkload:
                 issue_width=issue_width, sample_traces=sample_traces,
                 load_latency=load_latency, max_cycles=max_cycles,
                 profile=profile, kernels=kernels,
+                cache=cache_model,
             )
         elif machine == "vn":
             engine = WindowEngine(
@@ -250,6 +273,7 @@ class CompiledWorkload:
                 sample_traces=sample_traces, load_latency=load_latency,
                 max_cycles=max_cycles, machine_name="vn",
                 profile=profile, kernels=kernels,
+                cache=cache_model,
             )
         elif machine == "ooo":
             # Out-of-order superscalar approximation (paper Fig. 5b):
@@ -261,6 +285,7 @@ class CompiledWorkload:
                 sample_traces=sample_traces, load_latency=load_latency,
                 max_cycles=max_cycles, machine_name="ooo",
                 profile=profile, kernels=kernels,
+                cache=cache_model,
             )
         elif machine == "seqdf":
             engine = WindowEngine(
@@ -268,14 +293,14 @@ class CompiledWorkload:
                 issue_width=issue_width, sample_traces=sample_traces,
                 load_latency=load_latency, max_cycles=max_cycles,
                 machine_name="seqdf", profile=profile,
-                kernels=kernels,
+                kernels=kernels, cache=cache_model,
             )
         elif machine == "datapar":
             engine = DataParallelEngine(
                 self.program, memory, lanes=issue_width,
                 sample_traces=sample_traces, load_latency=load_latency,
                 max_cycles=max_cycles, profile=profile,
-                kernels=kernels,
+                kernels=kernels, cache=cache_model,
             )
         else:
             raise SimulationError(f"unknown machine {machine!r}")
@@ -290,6 +315,9 @@ class CompiledWorkload:
         result.extra["declared_results"] = self.declared_results(
             result.results
         )
+        if cache_model is not None:
+            result.extra["cache"] = cache_model.stats(
+                result.instructions)
         return result
 
 

@@ -318,7 +318,48 @@ def _emit_node(w: Writer, graph: FlatGraph, nid: int,
         var.dedent()
         var("return True")
 
-        w("if latency <= 1:")
+        # Cache mode: the probe decides the delay, the in-flight
+        # plumbing is identical to the variable-latency rule.
+        cached = Writer()
+        for p in range(n_in):
+            node.operand(cached, p, f"a{p}")
+        node.backpressure(cached, 0)
+        node.backpressure(cached, 1)
+        node.pops(cached, list(range(n_in)))
+        cached(f"value = mem_load({arr}, a0)")
+        cached(f"delay = cache_load({arr}, a0)")
+        cached(f"if delay <= 1 and {nid} not in inflight:")
+        cached.indent()
+        node.push(cached, 0, "value")
+        node.push(cached, 1, "0")
+        if not (node.dests(0) or node.dests(1)):
+            cached("pass")
+        cached.dedent()
+        cached("else:")
+        cached.indent()
+        cached("due = metrics.cycles + delay - 1")
+        cached(f"queue = inflight.get({nid})")
+        cached("if queue is None:")
+        cached.indent()
+        cached(f"inflight[{nid}] = queue = deque()")
+        cached("if due < due_box[0]:")
+        cached.indent()
+        cached("due_box[0] = due")
+        cached.dedent()
+        cached.dedent()
+        cached("queue.append((due, value))")
+        cached.dedent()
+        cached("return True")
+
+        w("if cache_load is not None:")
+        w.indent()
+        node.compose(
+            w, cached,
+            [("mem_load", "mem_load"), ("inflight", "inflight"),
+             ("metrics", "metrics"), ("cache_load", "cache_load"),
+             ("deque", "deque"), ("due_box", "due_box")])
+        w.dedent()
+        w("elif latency <= 1:")
         w.indent()
         node.compose(w, fast, [("mem_load", "mem_load")])
         w.dedent()
@@ -349,7 +390,28 @@ def _emit_node(w: Writer, graph: FlatGraph, nid: int,
         b(f"mem_store({arr}, a0, a1)")
         node.push(b, 0, "0")
         b("return True")
+
+        # Stores probe the cache model too (write-allocate) but stay
+        # single-cycle; pick the body at bind time like LOAD.
+        cb = Writer()
+        for p in range(n_in):
+            node.operand(cb, p, f"a{p}")
+        node.backpressure(cb, 0)
+        node.pops(cb, list(range(n_in)))
+        cb(f"mem_store({arr}, a0, a1)")
+        cb(f"cache_store({arr}, a0)")
+        node.push(cb, 0, "0")
+        cb("return True")
+
+        w("if cache_store is not None:")
+        w.indent()
+        node.compose(w, cb, [("mem_store", "mem_store"),
+                             ("cache_store", "cache_store")])
+        w.dedent()
+        w("else:")
+        w.indent()
         name = node.compose(w, b, [("mem_store", "mem_store")])
+        w.dedent()
         w(f"fns[{nid}] = {name}")
         w()
         return
@@ -476,6 +538,9 @@ def generate(graph: FlatGraph) -> str:
     w("inflight = E._inflight")
     w("due_box = E._due_box")
     w("latency = E.load_latency")
+    w("cache = E._cache")
+    w("cache_load = cache.access_load if cache is not None else None")
+    w("cache_store = cache.access_store if cache is not None else None")
     if has_mu:
         w("mu_state = E._mu_state")
     w(f"fns = [None] * {n}")
@@ -504,7 +569,7 @@ def generate(graph: FlatGraph) -> str:
     w("inflight = E._inflight")
     w("due_box = E._due_box")
     w("stall = E._stall_for_memory")
-    w("sync = E.load_latency > 1")
+    w("sync = E.load_latency > 1 or E._cache is not None")
     w("sample_traces = metrics.sample_traces")
     # RLETrace.append inlined below; _length for both traces always
     # equals the cycle count, so it is committed in the finally.

@@ -133,9 +133,45 @@ def _emit_node(w: Writer, graph: TaggedGraph, nid: int) -> None:
             arr = "array"
             binds.append(("array", f"attrs[{nid}]['array']"))
         addr = _operand(nid, 0, imms, binds)
-        # Latency is a run parameter, not part of the plan: emit both
-        # firing rules and pick at bind time.
-        w("if latency <= 1:")
+        # Timing is a run parameter, not part of the plan: emit all
+        # three firing rules (cache probe, idealized single-cycle,
+        # hash-based variable latency) and pick at bind time.
+        w("if cache_load is not None:")
+        w.indent()
+        cbinds = binds + [("metrics", "metrics"),
+                          ("delayed", "delayed"),
+                          ("cache_load", "cache_load")]
+        header(cbinds)
+        w("entry = pop(tag)")
+        w("livebox[0] -= len(entry)")
+        w(f"addr = {addr}")
+        w(f"value = mem_load({arr}, addr)")
+        w(f"delay = cache_load({arr}, addr)")
+        w("if delay <= 1:")
+        w.indent()
+        _emit_edges(w, edges0, "tag", "value")
+        _emit_edges(w, edges1, "tag", "0")
+        if not (edges0 or edges1):
+            w("pass")
+        w.dedent()
+        w("else:")
+        w.indent()
+        w("due = metrics.cycles + delay - 1")
+        w("bucket = delayed.get(due)")
+        w("if bucket is None:")
+        w.indent()
+        w("delayed[due] = bucket = []")
+        w.dedent()
+        for dest_id, dest_port in edges0:
+            w(f"bucket.append(({dest_id}, {dest_port}, tag, value))")
+        for dest_id, dest_port in edges1:
+            w(f"bucket.append(({dest_id}, {dest_port}, tag, 0))")
+        w.dedent()
+        if n0 + n1:
+            w(f"livebox[0] += {n0 + n1}")
+        w.dedent()
+        w.dedent()
+        w("elif latency <= 1:")
         w.indent()
         header(binds)
         w("entry = pop(tag)")
@@ -200,6 +236,23 @@ def _emit_node(w: Writer, graph: TaggedGraph, nid: int) -> None:
             binds.append(("array", f"attrs[{nid}]['array']"))
         addr = _operand(nid, 0, imms, binds)
         value = _operand(nid, 1, imms, binds)
+        # Stores probe the cache model too (write-allocate) but stay
+        # single-cycle; pick the body at bind time like LOAD.
+        w("if cache_store is not None:")
+        w.indent()
+        header(binds + [("cache_store", "cache_store")])
+        w("entry = pop(tag)")
+        w("livebox[0] -= len(entry)")
+        w(f"addr = {addr}")
+        w(f"mem_store({arr}, addr, {value})")
+        w(f"cache_store({arr}, addr)")
+        _emit_edges(w, edges0, "tag", "0")
+        if n0:
+            w(f"livebox[0] += {n0}")
+        w.dedent()
+        w.dedent()
+        w("else:")
+        w.indent()
         header(binds)
         w("entry = pop(tag)")
         w("livebox[0] -= len(entry)")
@@ -207,7 +260,10 @@ def _emit_node(w: Writer, graph: TaggedGraph, nid: int) -> None:
         _emit_edges(w, edges0, "tag", "0")
         if n0:
             w(f"livebox[0] += {n0}")
-        footer()
+        w.dedent()
+        w.dedent()
+        w(f"fns[{nid}] = {name}")
+        w()
         return
 
     if op is Op.JOIN:
@@ -405,6 +461,9 @@ def generate(graph: TaggedGraph) -> str:
     w("metrics = E.metrics")
     w("delayed = E._delayed")
     w("latency = E.load_latency")
+    w("cache = E._cache")
+    w("cache_load = cache.access_load if cache is not None else None")
+    w("cache_store = cache.access_store if cache is not None else None")
     w("dirty = E._dirty_pools")
     w(f"fns = [None] * {n}")
     w()
@@ -440,9 +499,9 @@ def generate(graph: TaggedGraph) -> str:
     # MetricsRecorder.sample is inlined into frame locals, committed
     # back in the finally. metrics.cycles is synchronized at the end
     # of every cycle when loads can be delayed (the variable-latency
-    # fire rules read it mid-cycle) and around _stall_for_memory,
-    # which both reads and mutates the recorder.
-    w("sync = E.load_latency > 1")
+    # and cache-probe fire rules read it mid-cycle) and around
+    # _stall_for_memory, which both reads and mutates the recorder.
+    w("sync = E.load_latency > 1 or E._cache is not None")
     w("sample_traces = metrics.sample_traces")
     w("ipc_vals = metrics.ipc_trace._values")
     w("ipc_counts = metrics.ipc_trace._counts")

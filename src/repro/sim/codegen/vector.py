@@ -54,7 +54,9 @@ def _emit_items(w: Writer, b: _Binder, items, mode: str,
     """Emit the body for a tuple of region items.
 
     ``mode`` is ``ticked_fast`` (idealized loads), ``ticked_var``
-    (variable-latency loads) or ``silent`` (vector body, no ticks).
+    (variable-latency loads), ``ticked_cache`` (cache-probe loads and
+    stores) or ``silent`` (vector body, no ticks; vector-body memory
+    bypasses the cache model like the interpreter's silent steps).
     """
     ticked = mode != "silent"
     for item in items:
@@ -108,6 +110,19 @@ def _emit_items(w: Writer, b: _Binder, items, mode: str,
                 w.indent()
                 w("stall(delay - 1, live)")
                 w.dedent()
+            elif mode == "ticked_cache":
+                b.need("stall", "stall")
+                b.need("cache_load", "cache_load")
+                b.need("miss_latency", "miss_latency")
+                w("tick(1, live)")
+                w(f"index = env[{ins[0]}]")
+                w(f"env[{outs[0]}] = mem_load({arr}, index)")
+                w(f"env[{outs[1]}] = 0")
+                w(f"delay = cache_load({arr}, index)")
+                w("if delay > 1:")
+                w.indent()
+                w("stall(delay - 1, live, delay >= miss_latency)")
+                w.dedent()
             else:
                 if ticked:
                     w("tick(1, live)")
@@ -122,6 +137,9 @@ def _emit_items(w: Writer, b: _Binder, items, mode: str,
             if ticked:
                 w("tick(1, live)")
             w(f"mem_store({arr}, env[{ins[0]}], env[{ins[1]}])")
+            if mode == "ticked_cache":
+                b.need("cache_store", "cache_store")
+                w(f"cache_store({arr}, env[{ins[0]}])")
             w(f"env[{outs[0]}] = 0")
             continue
 
@@ -200,6 +218,17 @@ def _has_load(items) -> bool:
     return False
 
 
+def _has_store(items) -> bool:
+    for item in items:
+        if isinstance(item, VecIf):
+            if (_has_store(item.then_items)
+                    or _has_store(item.else_items)):
+                return True
+        elif item.op is Op.STORE:
+            return True
+    return False
+
+
 def _emit_block_fn(w: Writer, name: str, plan, mode: str,
                    ctx) -> None:
     body = Writer()
@@ -242,6 +271,10 @@ def generate(program: ContextProgram) -> str:
     w("mem_load = E.memory.load")
     w("mem_store = E.memory.store")
     w("latency = E.load_latency")
+    w("cache = E._cache")
+    w("cache_load = cache.access_load if cache is not None else None")
+    w("cache_store = cache.access_store if cache is not None else None")
+    w("miss_latency = cache.miss_latency if cache is not None else 0")
     w("plans = E.plans")
     w("vector_info = E.vector_info")
     w("exec_block = E._exec_block")
@@ -251,18 +284,34 @@ def generate(program: ContextProgram) -> str:
     w()
     for bi, (bname, plan) in enumerate(plans.items()):
         w(f"# block {bname!r}")
-        if _has_load(plan.items):
+        has_ld = _has_load(plan.items)
+        has_st = _has_store(plan.items)
+        if has_ld or has_st:
             _emit_block_fn(w, f"tb{bi}_fast", plan, "ticked_fast",
                            ctx)
-            _emit_block_fn(w, f"tb{bi}_var", plan, "ticked_var", ctx)
-            w("if latency <= 1:")
+            if has_ld:
+                _emit_block_fn(w, f"tb{bi}_var", plan, "ticked_var",
+                               ctx)
+            _emit_block_fn(w, f"tb{bi}_cache", plan, "ticked_cache",
+                           ctx)
+            w("if cache_load is not None:")
             w.indent()
-            w(f"ticked[{lit(bname)}] = (tb{bi}_fast,)")
+            w(f"ticked[{lit(bname)}] = (tb{bi}_cache,)")
             w.dedent()
-            w("else:")
-            w.indent()
-            w(f"ticked[{lit(bname)}] = (tb{bi}_var,)")
-            w.dedent()
+            if has_ld:
+                w("elif latency <= 1:")
+                w.indent()
+                w(f"ticked[{lit(bname)}] = (tb{bi}_fast,)")
+                w.dedent()
+                w("else:")
+                w.indent()
+                w(f"ticked[{lit(bname)}] = (tb{bi}_var,)")
+                w.dedent()
+            else:
+                w("else:")
+                w.indent()
+                w(f"ticked[{lit(bname)}] = (tb{bi}_fast,)")
+                w.dedent()
         else:
             _emit_block_fn(w, f"tb{bi}", plan, "ticked_fast", ctx)
             w(f"ticked[{lit(bname)}] = (tb{bi},)")

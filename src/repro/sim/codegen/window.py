@@ -213,6 +213,32 @@ def _emit_fire(w: Writer, bplan: BlockPlan, p: OpPlan,
         fn.out(fast, 0, "value", d0)
         fn.out(fast, 1, "0", n1)
 
+        # Cache mode: the probe decides the delay; the delayed-bucket
+        # plumbing is identical to the variable-latency rule.
+        cached = Writer()
+        cached(f"entry = inst.wait.pop({oid}, NO)")
+        if n_t:
+            cached(f"livebox[0] -= {n_t}")
+        cached(f"addr = {fn.operand(0)}")
+        cached(f"value = mem_load({arr}, addr)")
+        cached(f"delay = cache_load({arr}, addr)")
+        cached("if delay <= 1:")
+        cached.indent()
+        cached(f"publish(inst, {lit((oid, 0))}, value)")
+        cached(f"publish(inst, {lit((oid, 1))}, 0)")
+        cached.dedent()
+        cached("else:")
+        cached.indent()
+        cached("due = metrics.cycles + delay - 1")
+        cached("bucket = delayed.get(due)")
+        cached("if bucket is None:")
+        cached.indent()
+        cached("delayed[due] = bucket = []")
+        cached.dedent()
+        cached(f"bucket.append((inst, {lit((oid, 0))}, value))")
+        cached(f"bucket.append((inst, {lit((oid, 1))}, 0))")
+        cached.dedent()
+
         var = Writer()
         var(f"entry = inst.wait.pop({oid}, NO)")
         if n_t:
@@ -237,7 +263,15 @@ def _emit_fire(w: Writer, bplan: BlockPlan, p: OpPlan,
         var(f"bucket.append((inst, {lit((oid, 1))}, 0))")
         var.dedent()
 
-        w("if latency <= 1:")
+        w("if cache_load is not None:")
+        w.indent()
+        fn.compose(
+            w, cached,
+            [("NO", "_NO_ENTRY"), ("mem_load", "mem_load"),
+             ("publish", "publish"), ("metrics", "metrics"),
+             ("delayed", "delayed"), ("cache_load", "cache_load")])
+        w.dedent()
+        w("elif latency <= 1:")
         w.indent()
         fn.compose(w, fast,
                    [("NO", "_NO_ENTRY"), ("mem_load", "mem_load")])
@@ -265,8 +299,29 @@ def _emit_fire(w: Writer, bplan: BlockPlan, p: OpPlan,
         b(f"value = {fn.operand(1)}")
         b(f"mem_store({arr}, addr, value)")
         fn.out(b, 0, "0", d0)
+
+        # Stores probe the cache model too (write-allocate) but stay
+        # single-cycle; pick the body at bind time like LOAD.
+        cb = Writer()
+        cb(f"entry = inst.wait.pop({oid}, NO)")
+        cb(f"inst.fired.add({oid})")
+        cb(f"addr = {fn.operand(0)}")
+        cb(f"value = {fn.operand(1)}")
+        cb(f"mem_store({arr}, addr, value)")
+        cb(f"cache_store({arr}, addr)")
+        fn.out(cb, 0, "0", d0)
+
+        w("if cache_store is not None:")
+        w.indent()
+        fn.compose(
+            w, cb, [("NO", "_NO_ENTRY"), ("mem_store", "mem_store"),
+                    ("cache_store", "cache_store")])
+        w.dedent()
+        w("else:")
+        w.indent()
         name = fn.compose(
             w, b, [("NO", "_NO_ENTRY"), ("mem_store", "mem_store")])
+        w.dedent()
         w()
         return name
 
@@ -338,6 +393,9 @@ def generate(program: ContextProgram) -> str:
     w("delayed = E._delayed")
     w("publish = E._publish")
     w("latency = E.load_latency")
+    w("cache = E._cache")
+    w("cache_load = cache.access_load if cache is not None else None")
+    w("cache_store = cache.access_store if cache is not None else None")
     w("plans = E.plans")
     w("tables = {}")
     w()
@@ -376,7 +434,7 @@ def generate(program: ContextProgram) -> str:
     w("issue_width = E.issue_width")
     w("fetch_width = E.fetch_width")
     w("max_cycles = E.max_cycles")
-    w("sync_cycles = E.load_latency > 1")
+    w("sync_cycles = E.load_latency > 1 or E._cache is not None")
     w("traces = metrics.sample_traces")
     w("ipc_vals = metrics.ipc_trace._values")
     w("ipc_counts = metrics.ipc_trace._counts")

@@ -32,7 +32,10 @@ def _array_hash(array: str) -> int:
     h = _ARRAY_HASH.get(array)
     if h is None:
         if len(_ARRAY_HASH) >= _ARRAY_HASH_LIMIT:
-            _ARRAY_HASH.clear()
+            # Evict a single entry, not the whole memo: wiping all
+            # 4096 thrashed the hot arrays every time generated-name
+            # churn tripped the bound.
+            _ARRAY_HASH.popitem()
         h = _ARRAY_HASH[array] = zlib.crc32(array.encode("utf-8"))
     return h
 

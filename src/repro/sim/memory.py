@@ -23,6 +23,7 @@ class Memory:
 
     def __init__(self, arrays: Optional[Mapping[str, Iterable]] = None):
         self._arrays: Dict[str, List] = {}
+        self._layout: Optional[Dict[str, int]] = None
         self.loads = 0
         self.stores = 0
         if arrays:
@@ -32,6 +33,30 @@ class Memory:
     def bind(self, name: str, data: Iterable) -> None:
         """Bind (or rebind) an array's contents."""
         self._arrays[name] = list(data)
+        self._layout = None
+
+    def base_of(self, array: str) -> int:
+        """Word offset of ``array`` in the flat address space.
+
+        Arrays are laid out contiguously in bind order, so element
+        ``index`` of ``array`` lives at flat word address
+        ``base_of(array) + index`` -- the address the cache model
+        (:mod:`repro.sim.cache`) maps onto lines and sets. The layout
+        is computed lazily and invalidated whenever :meth:`bind`
+        (re)binds an array.
+        """
+        layout = self._layout
+        if layout is None:
+            layout = {}
+            base = 0
+            for name, data in self._arrays.items():
+                layout[name] = base
+                base += len(data)
+            self._layout = layout
+        try:
+            return layout[array]
+        except KeyError:
+            raise MemoryError_(f"array {array!r} not bound") from None
 
     def get(self, name: str):
         return self._arrays.get(name)
@@ -54,20 +79,28 @@ class Memory:
 
     def load(self, array: str, index) -> object:
         data = self[array]
-        if not isinstance(index, int) or not 0 <= index < len(data):
+        # bool is an int subclass: a stray comparison token flowing
+        # into an address must fail loudly, not silently read word 0/1.
+        if isinstance(index, bool) or not isinstance(index, int) \
+                or not 0 <= index < len(data):
             raise MemoryError_(
-                f"load index {index!r} out of bounds for {array!r} "
-                f"(len {len(data)})"
+                f"load index {index!r} "
+                + ("is a bool, not an address"
+                   if isinstance(index, bool) else "out of bounds")
+                + f" for {array!r} (len {len(data)})"
             )
         self.loads += 1
         return data[index]
 
     def store(self, array: str, index, value) -> None:
         data = self[array]
-        if not isinstance(index, int) or not 0 <= index < len(data):
+        if isinstance(index, bool) or not isinstance(index, int) \
+                or not 0 <= index < len(data):
             raise MemoryError_(
-                f"store index {index!r} out of bounds for {array!r} "
-                f"(len {len(data)})"
+                f"store index {index!r} "
+                + ("is a bool, not an address"
+                   if isinstance(index, bool) else "out of bounds")
+                + f" for {array!r} (len {len(data)})"
             )
         self.stores += 1
         data[index] = value

@@ -372,12 +372,18 @@ class ExecutionResult:
             mean = f"{self.mean_live:.1f}"
         except MetricsUnavailable:
             mean = "?"
-        return (
+        text = (
             f"{self.machine}: {'ok' if self.completed else 'DEADLOCK'} "
             f"cycles={self.cycles} instrs={self.instructions} "
             f"ipc={self.mean_ipc:.2f} peak_live={peak} "
             f"mean_live={mean}"
         )
+        cache = self.extra.get("cache") if self.extra else None
+        if cache and cache.get("levels"):
+            l1 = cache["levels"][0]
+            text += (f" {l1['name']}_hit={l1['hit_rate']:.1%}"
+                     f" {l1['name']}_mpki={l1['mpki']:.1f}")
+        return text
 
 
 class MetricsRecorder:

@@ -48,7 +48,7 @@ profiling branches at all.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dataclasses_field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import SimulationError
@@ -79,6 +79,13 @@ class RunProfile:
     stall_cycles: Dict[str, int]
     node_fired: Dict[str, int]
     node_cycles: Dict[str, float]
+    #: Cache-mode refinement of ``memory_stall``: stalled cycles
+    #: attributed to last-level misses (``"miss"``) vs. slower-level
+    #: hits (``"hit"``). Empty unless the run configured ``cache=``
+    #: and its components then sum exactly to
+    #: ``stall_cycles["memory_stall"]``.
+    memory_stall_split: Dict[str, int] = dataclasses_field(
+        default_factory=dict)
 
     def validate(self) -> None:
         """Enforce the conservation invariants.
@@ -106,6 +113,21 @@ class RunProfile:
                 f"node fired counts sum to {fired}, run executed "
                 f"{self.instructions}"
             )
+        if self.memory_stall_split:
+            bad = set(self.memory_stall_split) - {"hit", "miss"}
+            if bad:
+                raise SimulationError(
+                    f"profile for {self.machine} has unknown memory "
+                    f"stall components {sorted(bad)}"
+                )
+            split = sum(self.memory_stall_split.values())
+            mem = self.stall_cycles.get("memory_stall", 0)
+            if split != mem:
+                raise SimulationError(
+                    f"profile for {self.machine} lost memory stalls: "
+                    f"hit/miss split sums to {split}, memory_stall "
+                    f"is {mem}"
+                )
 
     @property
     def busy_cycles(self) -> int:
@@ -128,7 +150,7 @@ class RunProfile:
 
     def to_json_dict(self) -> Dict[str, object]:
         """A JSON-serializable form (the CLI's ``--json`` schema)."""
-        return {
+        doc = {
             "machine": self.machine,
             "cycles": self.cycles,
             "instructions": self.instructions,
@@ -137,6 +159,9 @@ class RunProfile:
             "node_cycles": {label: round(cycles, 6)
                             for label, cycles in self.node_cycles.items()},
         }
+        if self.memory_stall_split:
+            doc["memory_stall_split"] = dict(self.memory_stall_split)
+        return doc
 
     def summary_fields(self, top: int = 3) -> Dict[str, object]:
         """The compact form sweep run logs record per spec."""
@@ -161,7 +186,7 @@ class EngineProfiler:
     """
 
     __slots__ = ("stall_cycles", "node_fired", "node_cycles",
-                 "_cycle_nodes")
+                 "_cycle_nodes", "memory_stall_split")
 
     def __init__(self):
         self.stall_cycles: Dict[str, int] = {
@@ -170,6 +195,9 @@ class EngineProfiler:
         self.node_fired: Dict[object, int] = {}
         self.node_cycles: Dict[object, float] = {}
         self._cycle_nodes: List[object] = []
+        #: Populated only by cache-mode runs (see
+        #: :meth:`idle_memory` / :meth:`end_cycle_memory`).
+        self.memory_stall_split: Dict[str, int] = {}
 
     def fire(self, key: object) -> None:
         """Record one firing of static node ``key`` this cycle."""
@@ -202,6 +230,28 @@ class EngineProfiler:
         if n_cycles > 0:
             self.stall_cycles[reason] += n_cycles
 
+    def idle_memory(self, n_cycles: int, miss_cycles: int) -> None:
+        """Batched memory stall with its hit/miss split (cache mode).
+
+        ``miss_cycles`` of the window are attributed to a last-level
+        miss in flight, the rest to slower-level hits; engines clamp
+        ``miss_cycles`` into ``[0, n_cycles]`` before calling.
+        """
+        if n_cycles > 0:
+            self.stall_cycles["memory_stall"] += n_cycles
+            split = self.memory_stall_split
+            split["miss"] = split.get("miss", 0) + miss_cycles
+            split["hit"] = split.get("hit", 0) + (n_cycles
+                                                 - miss_cycles)
+
+    def end_cycle_memory(self, miss: bool) -> None:
+        """Per-cycle memory stall with its hit/miss class (cache
+        mode); otherwise identical to ``end_cycle("memory_stall")``."""
+        self.end_cycle("memory_stall")
+        split = self.memory_stall_split
+        key = "miss" if miss else "hit"
+        split[key] = split.get(key, 0) + 1
+
     def finish(self, machine: str, cycles: int, instructions: int,
                label_of: Optional[Callable[[object], str]] = None
                ) -> RunProfile:
@@ -224,6 +274,7 @@ class EngineProfiler:
             stall_cycles=dict(self.stall_cycles),
             node_fired=relabel(self.node_fired, 0),
             node_cycles=relabel(self.node_cycles, 0.0),
+            memory_stall_split=dict(self.memory_stall_split),
         )
         profile.validate()
         return profile

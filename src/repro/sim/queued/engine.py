@@ -52,7 +52,8 @@ class QueuedEngine:
                  load_latency: int = 1,
                  max_cycles: int = 200_000_000,
                  profile: bool = False,
-                 kernels=None):
+                 kernels=None,
+                 cache=None):
         if queue_depth < 1:
             raise SimulationError("queue depth must be >= 1")
         self.graph = graph
@@ -61,6 +62,12 @@ class QueuedEngine:
         self.issue_width = issue_width
         self.load_latency = load_latency
         self.max_cycles = max_cycles
+        #: Optional stateful cache model (repro.sim.cache.CacheModel):
+        #: load delays come from cache probes, stores probe it too.
+        self._cache = cache
+        #: First cycle index past the latest last-level miss (cache
+        #: mode); bounds the profiled loop's hit/miss stall split.
+        self._miss_until: List[int] = [0]
         self.metrics = MetricsRecorder(sample_traces=sample_traces)
         # run() selects the profiled cycle loop only when set, so the
         # default path has no per-cycle profiling branches.
@@ -239,6 +246,8 @@ class QueuedEngine:
         issue_width = self.issue_width
         max_cycles = self.max_cycles
         due_box = self._due_box
+        miss_until = self._miss_until if self._cache is not None \
+            else None
         while True:
             candidates = sorted(nc)
             nc.clear()
@@ -261,7 +270,14 @@ class QueuedEngine:
                 if self._inflight:
                     before = metrics.cycles
                     self._stall_for_memory()
-                    prof.idle("memory_stall", metrics.cycles - before)
+                    if miss_until is None:
+                        prof.idle("memory_stall",
+                                  metrics.cycles - before)
+                    else:
+                        n = metrics.cycles - before
+                        miss = min(metrics.cycles, miss_until[0]) \
+                            - before
+                        prof.idle_memory(n, max(0, min(n, miss)))
                     continue
                 if livebox[0] == 0:
                     return True
@@ -270,7 +286,11 @@ class QueuedEngine:
             if fired:
                 end_cycle("width_limited" if width_limited else "fired")
             elif self._inflight:
-                end_cycle("memory_stall")
+                if miss_until is None:
+                    end_cycle("memory_stall")
+                else:
+                    prof.end_cycle_memory(
+                        metrics.cycles <= miss_until[0])
             else:
                 end_cycle("waiting_operands")
             if metrics.cycles >= max_cycles:
@@ -544,6 +564,60 @@ class QueuedEngine:
             due_box = self._due_box
             metrics = self.metrics
 
+            if self._cache is not None:
+                cache_load = self._cache.access_load
+                miss_latency = self._cache.miss_latency
+                miss_until = self._miss_until
+
+                def try_fire_load_cached():
+                    args = []
+                    for f, k, imm in spec:
+                        if f is None:
+                            args.append(imm)
+                        else:
+                            if len(f) - fresh_get(k, 0) <= 0:
+                                return False
+                            args.append(f[0])
+                    for f, k, d in dests0:
+                        if len(f) >= depth:
+                            return False
+                    for f, k, d in dests1:
+                        if len(f) >= depth:
+                            return False
+                    popped = False
+                    for f, k, imm in spec:
+                        if f is not None:
+                            f.popleft()
+                            livebox[0] -= 1
+                            popped = True
+                    if popped:
+                        nc_update(producers)
+                    value = mem_load(array, args[0])
+                    delay = cache_load(array, args[0])
+                    if delay <= 1 and nid not in inflight:
+                        for f, k, d in dests0:
+                            f.append(value)
+                            fresh[k] = fresh_get(k, 0) + 1
+                            nc_add(d)
+                        for f, k, d in dests1:
+                            f.append(0)
+                            fresh[k] = fresh_get(k, 0) + 1
+                            nc_add(d)
+                        livebox[0] += n0 + n1
+                    else:
+                        due = metrics.cycles + delay - 1
+                        if delay >= miss_latency \
+                                and due + 1 > miss_until[0]:
+                            miss_until[0] = due + 1
+                        queue = inflight.get(nid)
+                        if queue is None:
+                            inflight[nid] = queue = deque()
+                            if due < due_box[0]:
+                                due_box[0] = due
+                        queue.append((due, value))
+                    return True
+                return try_fire_load_cached
+
             def try_fire_load():
                 args = []
                 for f, k, imm in spec:
@@ -611,6 +685,8 @@ class QueuedEngine:
             n0 = len(dests0)
             array = self._attrs[nid]["array"]
             mem_store = self.memory.store
+            cache_store = (self._cache.access_store
+                           if self._cache is not None else None)
 
             def try_fire_store():
                 args = []
@@ -633,6 +709,8 @@ class QueuedEngine:
                 if popped:
                     nc_update(producers)
                 mem_store(array, args[0], args[1])
+                if cache_store is not None:
+                    cache_store(array, args[0])
                 for f, k, d in dests0:
                     f.append(0)
                     fresh[k] = fresh_get(k, 0) + 1

@@ -82,13 +82,22 @@ class TaggedEngine:
                  load_latency: int = 1,
                  max_cycles: int = 50_000_000,
                  profile: bool = False,
-                 kernels=None):
+                 kernels=None,
+                 cache=None):
         self.graph = graph
         self.memory = memory
         self.policy = policy
         self.issue_width = issue_width
         self.load_latency = load_latency
         self.max_cycles = max_cycles
+        #: Optional stateful cache model (repro.sim.cache.CacheModel);
+        #: when set, load delays come from cache probes instead of the
+        #: load_delay hash and stores probe it too.
+        self._cache = cache
+        #: First cycle index no longer stalled by the latest last-level
+        #: miss (cache mode only); the profiled loop splits its
+        #: memory_stall attribution into hit/miss at this boundary.
+        self._miss_until: List[int] = [0]
         self.metrics = MetricsRecorder(sample_traces=sample_traces)
         #: Opt-in stall/hotspot attribution; ``run`` selects a
         #: profiled cycle loop iff this is set, so the default path
@@ -335,12 +344,21 @@ class TaggedEngine:
         run_cycle = self._run_cycle_profiled
         token_bound = self._token_bound
         max_cycles = self.max_cycles
+        miss_until = self._miss_until if self._cache is not None \
+            else None
         while True:
             if not ready:
                 if self._delayed:
                     before = metrics.cycles
                     self._stall_for_memory()
-                    prof.idle("memory_stall", metrics.cycles - before)
+                    if miss_until is None:
+                        prof.idle("memory_stall",
+                                  metrics.cycles - before)
+                    else:
+                        n = metrics.cycles - before
+                        miss = min(metrics.cycles, miss_until[0]) \
+                            - before
+                        prof.idle_memory(n, max(0, min(n, miss)))
                     continue
                 if self._is_finished():
                     return True
@@ -730,6 +748,39 @@ class TaggedEngine:
             n0, n1 = len(edges0), len(edges1)
             array = attrs["array"]
             mem_load = self.memory.load
+            if self._cache is not None:
+                cache_load = self._cache.access_load
+                miss_latency = self._cache.miss_latency
+                miss_until = self._miss_until
+                metrics = self.metrics
+                delayed = self._delayed
+
+                def fire_load_cached(tag):
+                    entry = store.pop(tag)
+                    livebox[0] -= len(entry)
+                    addr = entry[0] if 0 in entry else imms[0]
+                    value = mem_load(array, addr)
+                    delay = cache_load(array, addr)
+                    if delay <= 1:
+                        for e in edges0:
+                            append((e[0], e[1], tag, value))
+                        for e in edges1:
+                            append((e[0], e[1], tag, 0))
+                    else:
+                        due = metrics.cycles + delay - 1
+                        if delay >= miss_latency \
+                                and due + 1 > miss_until[0]:
+                            miss_until[0] = due + 1
+                        bucket = delayed.get(due)
+                        if bucket is None:
+                            delayed[due] = bucket = []
+                        for e in edges0:
+                            bucket.append((e[0], e[1], tag, value))
+                        for e in edges1:
+                            bucket.append((e[0], e[1], tag, 0))
+                    livebox[0] += n0 + n1
+                return fire_load_cached
+
             if self.load_latency <= 1:
                 def fire_load(tag):
                     entry = store.pop(tag)
@@ -775,6 +826,20 @@ class TaggedEngine:
             n0 = len(edges0)
             array = attrs["array"]
             mem_store = self.memory.store
+            if self._cache is not None:
+                cache_store = self._cache.access_store
+
+                def fire_store_cached(tag):
+                    entry = store.pop(tag)
+                    livebox[0] -= len(entry)
+                    addr = entry[0] if 0 in entry else imms[0]
+                    value = entry[1] if 1 in entry else imms[1]
+                    mem_store(array, addr, value)
+                    cache_store(array, addr)
+                    for e in edges0:
+                        append((e[0], e[1], tag, 0))
+                    livebox[0] += n0
+                return fire_store_cached
 
             def fire_store(tag):
                 entry = store.pop(tag)
@@ -975,8 +1040,16 @@ class TaggedEngine:
         if op is Op.LOAD:
             attrs = self._attrs[nid]
             value = self.memory.load(attrs["array"], inputs[0])
-            delay = load_delay(self.load_latency, attrs["array"],
-                               inputs[0])
+            if self._cache is not None:
+                delay = self._cache.access_load(attrs["array"],
+                                                inputs[0])
+                if delay >= self._cache.miss_latency:
+                    due_end = self.metrics.cycles + delay
+                    if due_end > self._miss_until[0]:
+                        self._miss_until[0] = due_end
+            else:
+                delay = load_delay(self.load_latency, attrs["array"],
+                                   inputs[0])
             if delay <= 1:
                 self._emit(nid, 0, tag, value)
                 self._emit(nid, 1, tag, 0)
@@ -992,6 +1065,8 @@ class TaggedEngine:
         elif op is Op.STORE:
             attrs = self._attrs[nid]
             self.memory.store(attrs["array"], inputs[0], inputs[1])
+            if self._cache is not None:
+                self._cache.access_store(attrs["array"], inputs[0])
             self._emit(nid, 0, tag, 0)
         elif op is Op.JOIN:
             self._emit(nid, 0, tag, inputs[0])

@@ -63,12 +63,20 @@ class DataParallelEngine:
                  load_latency: int = 1,
                  max_cycles: int = 500_000_000,
                  profile: bool = False,
-                 kernels=None):
+                 kernels=None,
+                 cache=None):
         if lanes < 1:
             raise SimulationError("lanes must be >= 1")
         self.program = program
         self.memory = memory
         self.lanes = lanes
+        #: Optional stateful cache model (repro.sim.cache.CacheModel).
+        #: Scalar (ticked) loads take their delay from cache probes
+        #: and ticked stores probe it too; vector-body accesses bypass
+        #: the model entirely -- classic vector machines stream memory
+        #: through pipelined ports, which is the same idealization the
+        #: silent steps already make for latency.
+        self._cache = cache
         #: Scalar loads stall the pipeline for their latency; vector
         #: sections assume pipelined (overlapped) memory, as classic
         #: vector machines do.
@@ -147,7 +155,8 @@ class DataParallelEngine:
                 f"exceeded max_cycles={self.max_cycles}"
             )
 
-    def _stall_scalar_load(self, n_cycles: int, live: int) -> None:
+    def _stall_scalar_load(self, n_cycles: int, live: int,
+                           miss: bool = False) -> None:
         """Fast-forward ``n_cycles`` of scalar-load latency in O(1).
 
         Exactly equivalent to ``n_cycles`` calls of ``_tick(0, live)``
@@ -155,6 +164,10 @@ class DataParallelEngine:
         overflow raises mid-stall: the spin raised after sampling the
         ``max_cycles + 1``-th cycle, with that final cycle sampled but
         not yet attributed by the profiled tick.
+
+        ``miss`` classifies the stall for the cache-mode profiler
+        split (the vector machine stalls synchronously, so the whole
+        window belongs to the one probe that caused it).
         """
         if n_cycles <= 0:
             return
@@ -164,13 +177,20 @@ class DataParallelEngine:
         if n_cycles >= allowed:
             metrics.sample_idle(live, allowed)
             if prof is not None:
-                prof.idle("memory_stall", allowed - 1)
+                if self._cache is None:
+                    prof.idle("memory_stall", allowed - 1)
+                else:
+                    prof.idle_memory(allowed - 1,
+                                     allowed - 1 if miss else 0)
             raise SimulationError(
                 f"exceeded max_cycles={self.max_cycles}"
             )
         metrics.sample_idle(live, n_cycles)
         if prof is not None:
-            prof.idle("memory_stall", n_cycles)
+            if self._cache is None:
+                prof.idle("memory_stall", n_cycles)
+            else:
+                prof.idle_memory(n_cycles, n_cycles if miss else 0)
 
     def _exec_block(self, plan: VecBlockPlan,
                     args: List[object]) -> List[object]:
@@ -250,6 +270,22 @@ class DataParallelEngine:
             o0, o1 = outs[0], outs[1]
             if ticked:
                 latency = self.load_latency
+                if self._cache is not None:
+                    cache_load = self._cache.access_load
+                    miss_latency = self._cache.miss_latency
+                    stall = self._stall_scalar_load
+
+                    def step_load_cached(env):
+                        tick(1, live)
+                        index = env[a0]
+                        env[o0] = mem_load(array, index)
+                        env[o1] = 0
+                        delay = cache_load(array, index)
+                        if delay > 1:
+                            stall(delay - 1, live,
+                                  delay >= miss_latency)
+                    return step_load_cached
+
                 if latency <= 1:
                     def step_load_fast(env):
                         tick(1, live)
@@ -280,6 +316,16 @@ class DataParallelEngine:
             a0, a1 = ins[0], ins[1]
             o0 = outs[0]
             if ticked:
+                if self._cache is not None:
+                    cache_store = self._cache.access_store
+
+                    def step_store_cached(env):
+                        tick(1, live)
+                        mem_store(array, env[a0], env[a1])
+                        cache_store(array, env[a0])
+                        env[o0] = 0
+                    return step_store_cached
+
                 def step_store(env):
                     tick(1, live)
                     mem_store(array, env[a0], env[a1])

@@ -111,7 +111,8 @@ class WindowEngine:
                  max_cycles: int = 500_000_000,
                  machine_name: Optional[str] = None,
                  profile: bool = False,
-                 kernels=None):
+                 kernels=None,
+                 cache=None):
         if window < 1:
             raise SimulationError("window must be >= 1")
         self.program = program
@@ -121,6 +122,12 @@ class WindowEngine:
         self.fetch_width = fetch_width if fetch_width else window
         self.load_latency = load_latency
         self.max_cycles = max_cycles
+        #: Optional stateful cache model (repro.sim.cache.CacheModel):
+        #: load delays come from cache probes, stores probe it too.
+        self._cache = cache
+        #: First cycle index past the latest last-level miss (cache
+        #: mode); bounds the profiled loop's hit/miss stall split.
+        self._miss_until: List[int] = [0]
         self.machine_name = machine_name or (
             "vn" if window == 1 and issue_width == 1 else "seqdf"
         )
@@ -249,8 +256,9 @@ class WindowEngine:
         # Metrics are accumulated in locals and committed in the
         # ``finally`` below.  Only variable-latency load closures read
         # ``metrics.cycles`` mid-run (to schedule maturity), so the
-        # counter is synced back each cycle exactly in that mode.
-        sync_cycles = self.load_latency > 1
+        # counter is synced back each cycle exactly in that mode --
+        # cache probes schedule maturities the same way.
+        sync_cycles = self.load_latency > 1 or self._cache is not None
         traces = metrics.sample_traces
         ipc_append = metrics.ipc_trace.append
         live_append = metrics.live_trace.append
@@ -409,6 +417,8 @@ class WindowEngine:
         issue_width = self.issue_width
         fetch_width = self.fetch_width
         max_cycles = self.max_cycles
+        miss_until = (self._miss_until if self._cache is not None
+                      else None)
         while True:
             # Issue: fire ready ops up to the shared width.
             fired = 0
@@ -489,7 +499,11 @@ class WindowEngine:
                     # Idle cycle waiting on in-flight loads (the fast
                     # loop skips the max_cycles check here; mirror it).
                     sample(0, livebox[0])
-                    end_cycle("memory_stall")
+                    if miss_until is None:
+                        end_cycle("memory_stall")
+                    else:
+                        prof.end_cycle_memory(
+                            metrics.cycles <= miss_until[0])
                     continue
                 if self._is_finished():
                     return True
@@ -498,7 +512,11 @@ class WindowEngine:
             if fired:
                 end_cycle("width_limited" if width_limited else "fired")
             elif delayed:
-                end_cycle("memory_stall")
+                if miss_until is None:
+                    end_cycle("memory_stall")
+                else:
+                    prof.end_cycle_memory(
+                        metrics.cycles <= miss_until[0])
             elif livebox[0] > 0:
                 end_cycle("waiting_operands")
             else:
@@ -707,6 +725,36 @@ class WindowEngine:
             delayed = self._delayed
             imm0 = imms.get(0)
 
+            if self._cache is not None:
+                # Cache mode: the probe decides the delay; the miss
+                # box lets the profiled loop split memory stalls into
+                # hit vs. last-level-miss cycles.
+                publish = self._publish
+                cache_load = self._cache.access_load
+                miss_latency = self._cache.miss_latency
+                miss_until = self._miss_until
+
+                def fire_load_cached(inst):
+                    entry = inst.wait.pop(op_id, _NO_ENTRY)
+                    livebox[0] -= n_t
+                    addr = entry[0] if 0 in entry else imm0
+                    value = mem_load(array, addr)
+                    delay = cache_load(array, addr)
+                    if delay <= 1:
+                        publish(inst, key0, value)
+                        publish(inst, key1, 0)
+                    else:
+                        due = metrics.cycles + delay - 1
+                        if (delay >= miss_latency
+                                and due + 1 > miss_until[0]):
+                            miss_until[0] = due + 1
+                        bucket = delayed.get(due)
+                        if bucket is None:
+                            delayed[due] = bucket = []
+                        bucket.append((inst, key0, value))
+                        bucket.append((inst, key1, 0))
+                return fire_load_cached
+
             if latency <= 1:
                 # Idealized timing: every load publishes immediately
                 # (``load_delay`` is the constant 1), so skip the delay
@@ -764,6 +812,27 @@ class WindowEngine:
             mem_store = self.memory.store
             imm0 = imms.get(0)
             imm1 = imms.get(1)
+            cache_store = (self._cache.access_store
+                           if self._cache is not None else None)
+
+            if cache_store is not None:
+                def fire_store_cached(inst):
+                    entry = inst.wait.pop(op_id, _NO_ENTRY)
+                    inst.fired.add(op_id)
+                    addr = entry[0] if 0 in entry else imm0
+                    value = entry[1] if 1 in entry else imm1
+                    mem_store(array, addr, value)
+                    cache_store(array, addr)
+                    inst.env[key0] = 0
+                    for d in cons0:
+                        append((inst, d, 0))
+                    livebox[0] += d0
+                    if inst.subs:
+                        subs = inst.subs.pop(key0, None)
+                        if subs:
+                            for target, target_key in subs:
+                                forward(target, target_key, 0)
+                return fire_store_cached
 
             def fire_store(inst):
                 entry = inst.wait.pop(op_id, _NO_ENTRY)

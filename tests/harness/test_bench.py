@@ -10,7 +10,7 @@ import json
 import os
 import time
 
-from repro.bench import _latest_baseline, _record_date
+from repro.bench import _latest_baseline, _record_date, compare_records
 
 
 def _write(path: str, date: str) -> None:
@@ -51,6 +51,38 @@ def test_latest_baseline_excludes_output_file(tmp_path, monkeypatch):
 def test_latest_baseline_none_without_records(tmp_path, monkeypatch):
     monkeypatch.chdir(tmp_path)
     assert _latest_baseline("BENCH_out.json") is None
+
+
+def _write_cases(path: str, cases: dict) -> None:
+    with open(path, "w") as fh:
+        json.dump({"date": "2026-01-01T00:00:00",
+                   "cases": {k: {"instrs_per_sec": v}
+                             for k, v in cases.items()}}, fh)
+
+
+def test_compare_tolerates_nonpositive_throughput(tmp_path, monkeypatch,
+                                                  capsys):
+    """A zero/negative case (failed or hand-edited record) must be
+    rated n/a and excluded from the geomean, not crash ``math.log``."""
+    monkeypatch.chdir(tmp_path)
+    _write_cases("a.json", {"x": 1000.0, "y": -5.0, "z": 2000.0})
+    _write_cases("b.json", {"x": 2000.0, "y": 100.0, "z": 0.0})
+    assert compare_records("a.json", "b.json") == 0
+    out = capsys.readouterr().out
+    assert "n/a" in out
+    # Only x contributes a positive ratio: geomean is exactly 2.00x.
+    assert "2.00x" in out
+
+
+def test_compare_without_any_ratios_prints_no_geomean(tmp_path,
+                                                      monkeypatch,
+                                                      capsys):
+    monkeypatch.chdir(tmp_path)
+    _write_cases("a.json", {"x": 0.0})
+    _write_cases("b.json", {"x": 100.0, "only_b": 50.0})
+    assert compare_records("a.json", "b.json") == 0
+    out = capsys.readouterr().out
+    assert "geomean" not in out
 
 
 def test_unreadable_record_sorts_last(tmp_path, monkeypatch):

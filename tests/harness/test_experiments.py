@@ -15,6 +15,8 @@ from repro.harness.experiments import (
 FAST_KWARGS = {
     "ext-depth": {"scale": "tiny"},
     "ext-latency": {"scale": "tiny", "latencies": (1, 4)},
+    "ext-locality": {"scale": "tiny", "workloads": ("smv",),
+                     "l1_sets": (4, 16)},
     "ext-store": {"scale": "tiny"},
     "fig02": {"scale": "tiny"},
     "fig05": {"scale": "tiny"},
@@ -60,6 +62,27 @@ def test_fig12_data_structure():
         assert set(per) == {"vn", "seqdf", "ordered", "unordered",
                             "tyr"}
     assert "vn" in report.data["speedups"]
+
+
+def test_ext_locality_shows_tyr_advantage_at_small_scale():
+    """The headline acceptance: TYR's bounded tags must sustain a
+    measurably higher L1 hit rate than global-tag unordered dataflow
+    on at least two irregular workloads."""
+    report = get_experiment("ext-locality")(
+        scale="small", workloads=("smv", "spmspv"), l1_sets=(8, 16))
+    points = report.data["points"]
+    winners = 0
+    for name, per_machine in points.items():
+        tyr = per_machine["tyr"]
+        unordered = per_machine["unordered"]
+        # TYR's tag bound must actually bound the live state.
+        assert max(p["peak_live"] for p in tyr) < \
+            max(p["peak_live"] for p in unordered)
+        if all(t["hit_rate"] > u["hit_rate"] + 0.02
+               for t, u in zip(tyr, unordered)):
+            winners += 1
+    assert winners >= 2
+    assert set(report.data["advantage_smallest_l1"]) == set(points)
 
 
 def test_fig11_reports_deadlock_at_tiny_scale():

@@ -3,8 +3,25 @@
 import pytest
 
 from repro.harness.runner import PAPER_SYSTEMS
+from repro.sim import latency
 from repro.sim.latency import load_delay
 from repro.workloads import build_workload
+
+
+def test_array_hash_memo_evicts_one_entry_not_all(monkeypatch):
+    """Overflowing the memo must evict a single entry, not wipe all
+    of them (the seed's ``clear()`` thrashed the hot arrays on every
+    generated-name churn)."""
+    monkeypatch.setattr(latency, "_ARRAY_HASH", {})
+    monkeypatch.setattr(latency, "_ARRAY_HASH_LIMIT", 8)
+    for i in range(8):
+        load_delay(16, f"arr{i}", 0)
+    assert len(latency._ARRAY_HASH) == 8
+    load_delay(16, "overflow", 0)            # trips the bound
+    assert len(latency._ARRAY_HASH) == 8     # one out, one in
+    assert "overflow" in latency._ARRAY_HASH
+    survivors = [f"arr{i}" in latency._ARRAY_HASH for i in range(8)]
+    assert survivors.count(True) == 7        # exactly one evicted
 
 
 def test_latency_one_is_identity():

@@ -87,3 +87,19 @@ def test_tutorial_profile_api():
     prof = res.extra["profile"]
     assert sum(c for _, c in prof.stall_breakdown()) == res.cycles
     assert len(prof.top_nodes(5)) == 5
+
+
+def test_tutorial_cache_snippet():
+    """The §10 locality comparison must keep its direction: bounded
+    TYR tags beat unbounded global tags on the same cache."""
+    from repro import build_workload
+
+    wl = build_workload("smv", "tiny")
+    spec = "line=4,miss=60,l1=16x2x1"
+    tyr = wl.run_checked("tyr", cache=spec, tags=4,
+                         sample_traces=False)
+    unordered = wl.run_checked("unordered", cache=spec,
+                               sample_traces=False)
+    rate = lambda r: r.extra["cache"]["levels"][0]["hit_rate"]  # noqa
+    assert rate(tyr) > rate(unordered)
+    assert "l1_hit=" in tyr.summary()
