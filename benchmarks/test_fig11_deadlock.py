@@ -6,6 +6,10 @@ def test_fig11_deadlock(regen):
     assert report.data["deadlocked"]
     assert report.data["pending_allocations"] > 0
     assert report.data["tyr_completed"]
+    # The analyzer attributes each ablated deadlock to the dropped
+    # rule (Lemma 1 for drop="ready", Lemma 2 for drop="spare").
+    assert report.data["ablation_verdicts"] == {"spare": "spare",
+                                                "ready": "ready"}
     # The global-tag requirement grows with input size.
     by_size = report.data["min_tags_by_size"]
     sizes = sorted(by_size)

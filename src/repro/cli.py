@@ -39,6 +39,21 @@ def _cmd_list(args) -> int:
     return 0
 
 
+def _render_deadlock(err: DeadlockError, full: bool = False) -> str:
+    """The analyzer's report (culprits, wait cycle, violated rule)
+    when the error carries one; the bare message otherwise."""
+    d = getattr(err, "diagnosis", None)
+    if d is None or not hasattr(d, "explain"):
+        return str(err)
+    text = d.explain()
+    if full and getattr(d, "wait_edges", None):
+        lines = [text, "wait-for graph (all edges):"]
+        for src, dst, why in sorted(d.wait_edges):
+            lines.append(f"  {src} --[{why}]--> {dst}")
+        text = "\n".join(lines)
+    return text
+
+
 def _cmd_run(args) -> int:
     wl = build_workload(args.workload, args.scale)
     print(f"{args.workload} ({args.scale}): params {wl.params}")
@@ -59,7 +74,10 @@ def _cmd_run(args) -> int:
             print(f"  {res.summary()}  [{elapsed:.1f}s wall, "
                   f"outputs verified]")
         except DeadlockError as err:
-            print(f"  {machine}: DEADLOCK\n{err}")
+            print(f"  {machine}: DEADLOCK")
+            report = _render_deadlock(err, full=args.explain)
+            print("\n".join("    " + line
+                            for line in report.splitlines()))
     return 0
 
 
@@ -269,6 +287,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="simulate a cache hierarchy, e.g. "
                             "'line=8,miss=100,l1=64x4x1[,l2=...]'; "
                             "hit rates land in the summary line")
+    run_p.add_argument("--explain", action="store_true",
+                       help="on deadlock, also dump the full "
+                            "wait-for graph (every edge), not just "
+                            "the extracted cycle and culprits")
 
     exp_p = sub.add_parser("experiment",
                            help="regenerate a paper figure/table")

@@ -46,7 +46,9 @@ from repro.sim.metrics import ExecutionResult
 #: v3: results may carry stall-attribution profiles in ``extra``.
 #: v4: results may carry cache-hierarchy statistics in ``extra`` and
 #: profiles a memory_stall hit/miss split.
-CACHE_VERSION = 4
+#: v5: gated allocation leaves two free tags on speculative pops
+#: (multi-sibling starvation fix), shifting tyr schedules/metrics.
+CACHE_VERSION = 5
 
 #: Version of the *compiled-plan* cache (:class:`CompileCache`). Bump
 #: when :func:`repro.compiler.elaborate.elaborate` /
@@ -59,7 +61,9 @@ CACHE_VERSION = 4
 #: response delivery entirely on cycles where no load matures.
 #: v4: kernels gain cache-probe load/store firing rules selected at
 #: bind time.
-PLAN_VERSION = 4
+#: v5: generated run loops carry the progress watchdog (consecutive
+#: zero-fire cycle counter raising a diagnosed DeadlockError).
+PLAN_VERSION = 5
 
 DEFAULT_ROOT = ".repro-cache"
 

@@ -680,6 +680,23 @@ def run_specs(specs: Sequence[RunSpec], jobs: int = 1,
                       worker=pid, ok=False,
                       error=type(payload).__name__,
                       tolerated=tolerated, wall_s=round(wall, 6))
+            diag = getattr(payload, "diagnosis", None)
+            if isinstance(payload, DeadlockError) \
+                    and diag is not None \
+                    and hasattr(diag, "culprits"):
+                # Structured diagnosis so distributed fleets report
+                # the analyzer's verdict, not just the failure.
+                log.event(
+                    "deadlock", index=index, spec=spec.describe(),
+                    cycle=diag.cycle, live_tokens=diag.live_tokens,
+                    violated_rule=diag.violated_rule,
+                    culprits=diag.culprits(),
+                    wait_cycle=diag.wait_cycle,
+                    pending=len(diag.pending_allocations),
+                    pool_occupancy={
+                        name: list(occ) for name, occ
+                        in sorted(diag.pool_occupancy.items())
+                    })
         if tolerated:
             results[index] = payload
             finished += 1

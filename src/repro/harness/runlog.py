@@ -26,6 +26,12 @@ Two small, dependency-free surfaces that
                   store_hits, hit_rate, mpki]``) -- the run simulated
                   the cache-hierarchy memory model (``cache=`` specs);
                   follows that spec's ``finished`` event
+  ``deadlock``    ``index``, ``spec``, ``cycle``, ``live_tokens``,
+                  ``violated_rule``, ``culprits``, ``wait_cycle``,
+                  ``pending``, ``pool_occupancy`` -- a tolerated
+                  :class:`~repro.errors.DeadlockError` carried a
+                  wait-for-graph diagnosis (the analyzer's verdict);
+                  follows that spec's ``finished`` event
   ``retried``     ``index``, ``spec``, ``worker``, ``exitcode``,
                   ``attempt`` -- the worker died and the spec was
                   redispatched to a fresh worker

@@ -507,6 +507,7 @@ def generate(graph: FlatGraph) -> str:
     w("from sys import maxsize")
     w()
     w("from repro.errors import SimulationError")
+    w("from repro.sim.watchdog import watchdog_horizon")
     w("from repro.ir.ops import OP_INFO, Op")
     w("from repro.sim.latency import load_delay")
     w()
@@ -566,6 +567,8 @@ def generate(graph: FlatGraph) -> str:
     w("try_fns = tuple(E._try_fire_fns)")
     w("issue_width = E.issue_width")
     w("max_cycles = E.max_cycles")
+    w("wd_horizon = watchdog_horizon(max_cycles)")
+    w("idle_streak = 0")
     w("inflight = E._inflight")
     w("due_box = E._due_box")
     w("stall = E._stall_for_memory")
@@ -710,6 +713,20 @@ def generate(graph: FlatGraph) -> str:
     w("live = livebox[0]")
     w("cycles += 1")
     w("instructions += fired")
+    w("if fired:")
+    w.indent()
+    w("idle_streak = 0")
+    w.dedent()
+    w("elif not inflight:")
+    w.indent()
+    w("idle_streak += 1")
+    w("if idle_streak >= wd_horizon:")
+    w.indent()
+    w("metrics.cycles = cycles")
+    w("metrics.instructions = instructions")
+    w("E._raise_deadlock(watchdog=idle_streak)")
+    w.dedent()
+    w.dedent()
     w("if live > peak_live:")
     w.indent()
     w("peak_live = live")

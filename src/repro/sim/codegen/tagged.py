@@ -445,6 +445,7 @@ def generate(graph: TaggedGraph) -> str:
     w("from repro.errors import SimulationError, TokenBoundExceeded")
     w("from repro.ir.ops import OP_INFO, Op")
     w("from repro.sim.latency import load_delay")
+    w("from repro.sim.watchdog import watchdog_horizon")
     w()
     w()
     w("def bind_fires(E):")
@@ -488,6 +489,8 @@ def generate(graph: TaggedGraph) -> str:
     w("fire_fns = E._fire_fns")
     w("token_bound = E._token_bound")
     w("max_cycles = E.max_cycles")
+    w("wd_horizon = watchdog_horizon(max_cycles)")
+    w("idle_streak = 0")
     w("issue_width = E.issue_width")
     if has_alloc:
         w("fire_alloc_pop = E._fire_alloc_pop")
@@ -642,6 +645,20 @@ def generate(graph: TaggedGraph) -> str:
     w("live = livebox[0]")
     w("cycles += 1")
     w("instructions += fired")
+    w("if fired:")
+    w.indent()
+    w("idle_streak = 0")
+    w.dedent()
+    w("elif not delayed:")
+    w.indent()
+    w("idle_streak += 1")
+    w("if idle_streak >= wd_horizon:")
+    w.indent()
+    w("metrics.cycles = cycles")
+    w("metrics.instructions = instructions")
+    w("E._raise_deadlock(watchdog=idle_streak)")
+    w.dedent()
+    w.dedent()
     w("if live > peak_live:")
     w.indent()
     w("peak_live = live")

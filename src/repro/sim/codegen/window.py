@@ -375,6 +375,7 @@ def generate(program: ContextProgram) -> str:
       '\nplan, never edited. The closure interpreter in'
       '\nsim/window/engine.py is the bit-identical reference."""')
     w("from repro.errors import SimulationError")
+    w("from repro.sim.watchdog import watchdog_horizon")
     w("from repro.ir.ops import OP_INFO, Op")
     w("from repro.sim.latency import load_delay")
     w()
@@ -434,6 +435,8 @@ def generate(program: ContextProgram) -> str:
     w("issue_width = E.issue_width")
     w("fetch_width = E.fetch_width")
     w("max_cycles = E.max_cycles")
+    w("wd_horizon = watchdog_horizon(max_cycles)")
+    w("idle_streak = 0")
     w("sync_cycles = E.load_latency > 1 or E._cache is not None")
     w("traces = metrics.sample_traces")
     w("ipc_vals = metrics.ipc_trace._values")
@@ -561,6 +564,14 @@ def generate(program: ContextProgram) -> str:
     w.dedent()
     w("if fired == 0 and not progressed and not ready:")
     w.indent()
+    w("idle_streak += 1")
+    w("if idle_streak >= wd_horizon and (")
+    w("        not delayed or min(delayed) < cycles):")
+    w.indent()
+    w("metrics.cycles = cycles")
+    w("metrics.instructions = instructions")
+    w("E._raise_deadlock(watchdog=idle_streak)")
+    w.dedent()
     w("if delayed:")
     w.indent()
     w("cycles += 1")
@@ -600,6 +611,10 @@ def generate(program: ContextProgram) -> str:
     w("break")
     w.dedent()
     w("E._raise_deadlock()")
+    w.dedent()
+    w("else:")
+    w.indent()
+    w("idle_streak = 0")
     w.dedent()
     w("cycles += 1")
     w("if sync_cycles:")

@@ -33,6 +33,7 @@ from repro.sim.latency import load_delay
 from repro.sim.memory import Memory
 from repro.sim.metrics import ExecutionResult, MetricsRecorder
 from repro.sim.profile import EngineProfiler
+from repro.sim.watchdog import watchdog_horizon
 
 #: Mu gate states.
 _MU_INIT = 0  # waiting for an initial value
@@ -196,6 +197,8 @@ class QueuedEngine:
         issue_width = self.issue_width
         max_cycles = self.max_cycles
         due_box = self._due_box
+        wd_horizon = watchdog_horizon(max_cycles)
+        idle_streak = 0
         while True:
             # Deterministic order: ascending node id.
             candidates = sorted(nc)
@@ -221,6 +224,12 @@ class QueuedEngine:
                     return True
                 self._raise_deadlock()
             sample(fired, livebox[0])
+            if fired:
+                idle_streak = 0
+            else:
+                idle_streak += 1
+                if idle_streak >= wd_horizon and not self._inflight:
+                    self._raise_deadlock(watchdog=idle_streak)
             if metrics.cycles >= max_cycles:
                 raise SimulationError(
                     f"exceeded max_cycles={self.max_cycles}"
@@ -246,6 +255,8 @@ class QueuedEngine:
         issue_width = self.issue_width
         max_cycles = self.max_cycles
         due_box = self._due_box
+        wd_horizon = watchdog_horizon(max_cycles)
+        idle_streak = 0
         miss_until = self._miss_until if self._cache is not None \
             else None
         while True:
@@ -293,6 +304,12 @@ class QueuedEngine:
                         metrics.cycles <= miss_until[0])
             else:
                 end_cycle("waiting_operands")
+            if fired:
+                idle_streak = 0
+            else:
+                idle_streak += 1
+                if idle_streak >= wd_horizon and not self._inflight:
+                    self._raise_deadlock(watchdog=idle_streak)
             if metrics.cycles >= max_cycles:
                 raise SimulationError(
                     f"exceeded max_cycles={self.max_cycles}"
@@ -331,15 +348,18 @@ class QueuedEngine:
             (q[0][0] for q in self._inflight.values()),
             default=sys.maxsize)
 
-    def _raise_deadlock(self) -> None:
+    def _raise_deadlock(self, watchdog: "int | None" = None) -> None:
         stuck = []
         for nid, fifos in enumerate(self._fifos):
             held = sum(len(f) for f in fifos if f is not None)
             if held:
                 stuck.append((nid, self._op[nid].value, held))
+        via = ("" if watchdog is None else
+               f" (progress watchdog: {watchdog} consecutive cycles "
+               f"without progress)")
         raise DeadlockError(
             f"ordered dataflow stalled with {self._livebox[0]} queued "
-            f"tokens; first stuck nodes: {stuck[:8]}",
+            f"tokens{via}; first stuck nodes: {stuck[:8]}",
             stuck,
         )
 

@@ -35,9 +35,10 @@ from repro.sim.latency import load_delay
 from repro.sim.memory import Memory
 from repro.sim.metrics import ExecutionResult, MetricsRecorder
 from repro.sim.profile import EngineProfiler
-from repro.sim.tagged.deadlock import DeadlockDiagnosis, PendingAllocation
+from repro.sim.tagged.deadlock import analyze_deadlock
 from repro.sim.tagged.trace import ExecutionTrace
 from repro.sim.tagged.tagspace import PoolStats, TagPolicy, TagPool
+from repro.sim.watchdog import watchdog_horizon
 
 #: Tag of the machine-level root context (never allocated from a pool).
 ROOT_TAG = -1
@@ -304,6 +305,8 @@ class TaggedEngine:
         run_cycle = self._run_cycle
         token_bound = self._token_bound
         max_cycles = self.max_cycles
+        wd_horizon = watchdog_horizon(max_cycles)
+        idle_streak = 0
         while True:
             if not ready:
                 if self._delayed:
@@ -315,6 +318,12 @@ class TaggedEngine:
                 self._raise_deadlock()
             fired = run_cycle()
             sample(fired, livebox[0])
+            if fired:
+                idle_streak = 0
+            else:
+                idle_streak += 1
+                if idle_streak >= wd_horizon and not self._delayed:
+                    self._raise_deadlock(watchdog=idle_streak)
             if (token_bound is not None
                     and livebox[0] > token_bound):
                 raise TokenBoundExceeded(
@@ -344,6 +353,8 @@ class TaggedEngine:
         run_cycle = self._run_cycle_profiled
         token_bound = self._token_bound
         max_cycles = self.max_cycles
+        wd_horizon = watchdog_horizon(max_cycles)
+        idle_streak = 0
         miss_until = self._miss_until if self._cache is not None \
             else None
         while True:
@@ -374,6 +385,12 @@ class TaggedEngine:
                 end_cycle("waiting_operands")
             else:
                 end_cycle("idle")
+            if fired:
+                idle_streak = 0
+            else:
+                idle_streak += 1
+                if idle_streak >= wd_horizon and not self._delayed:
+                    self._raise_deadlock(watchdog=idle_streak)
             if (token_bound is not None
                     and livebox[0] > token_bound):
                 raise TokenBoundExceeded(
@@ -420,24 +437,8 @@ class TaggedEngine:
         return (not self._pending and not self._delayed
                 and self._livebox[0] == 0 and not self._alloc_state)
 
-    def _raise_deadlock(self) -> None:
-        diagnosis = DeadlockDiagnosis(
-            cycle=self.metrics.cycles,
-            live_tokens=self._livebox[0],
-            pool_occupancy={
-                p.name: (p.in_use, p.capacity)
-                for p in self._unique_pools
-            },
-        )
-        for (nid, tag), st in self._alloc_state.items():
-            if st.request and not st.popped:
-                diagnosis.pending_allocations.append(PendingAllocation(
-                    node_id=nid,
-                    block=self._alloc_pool[nid].name,
-                    parent_tag=tag,
-                    ready=st.ready,
-                    spare=self._alloc_spare[nid],
-                ))
+    def _raise_deadlock(self, watchdog: "int | None" = None) -> None:
+        diagnosis = analyze_deadlock(self, watchdog=watchdog)
         raise DeadlockError(diagnosis.describe(), diagnosis)
 
     # ------------------------------------------------------------------
@@ -654,6 +655,8 @@ class TaggedEngine:
                 self._wait_src.pop((nid, tag), {}),
             )
         new_tag = pool.pop()
+        if pool.capacity is not None:
+            pool.holders[new_tag] = (nid, tag)
         st.popped = True
         st.waiting = False
         self._livebox[0] -= 1  # the request token is consumed

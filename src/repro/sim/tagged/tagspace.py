@@ -7,11 +7,23 @@ A :class:`TagPool` hands out tags for one or more tag spaces. The
   architectures do; with an unbounded pool it is naive unordered
   dataflow, with a bounded pool it deadlocks (paper Fig. 11, Sec. V).
 * **Gated** pools implement TYR's ``allocate`` semantics (paper
-  Sec. IV-A): with more than ``reserve + 1`` tags free, pop
-  immediately; with exactly ``reserve + 1`` free, pop only for a
-  *ready* context; never dip into the reserve. ``reserve`` is 0 for
-  ordinary allocates and 1 for *external* allocates into tail-recursive
-  blocks (the spare-tag rule of Lemma 2).
+  Sec. IV-A): a *ready* context pops whenever more than ``reserve``
+  tags are free (never dipping into the reserve); a context that is
+  not yet ready pops only *speculatively*, and a speculative pop must
+  leave at least **two** tags free. ``reserve`` is 0 for ordinary
+  allocates and 1 for *external* allocates into tail-recursive blocks
+  (the spare-tag rule of Lemma 2).
+
+Why speculation must leave two tags, not one: several sibling regions
+can compete for one parent's pool. A chain of speculative pops (loop
+control racing ahead of serially carried data) that leaves only one
+tag free starves every *external* allocate into that loop block --
+even a ready one needs ``reserve + 1 = 2`` free tags (take one, keep
+the spare) -- while the speculative holders wait on data that
+transitively depends on those starved externals: deadlock. Leaving
+two tags keeps the strongest gated claim (a ready spare external)
+satisfiable at all times, which restores Theorem 2. See
+docs/ARCHITECTURE.md section 13.
 """
 
 from __future__ import annotations
@@ -52,6 +64,11 @@ class TagPool:
         self.in_use = 0
         self.peak_in_use = 0
         self.total_allocations = 0
+        #: tag -> (allocating node id, parent tag) for tags currently
+        #: in use (bounded pools only; maintained by the engine at pop
+        #: time and cleared by :meth:`push`). The deadlock analyzer
+        #: reads this to reconstruct the wait-for graph.
+        self.holders: Dict[int, tuple] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -60,22 +77,40 @@ class TagPool:
             return 1 << 60
         return len(self._free)
 
+    def tags_needed(self, ready: bool, spare: bool) -> int:
+        """Free tags the allocation rule demands before a pop.
+
+        A ready pop needs ``reserve + 1`` free tags (take one, never
+        dip into the reserve). A speculative (not-ready) pop needs 3:
+        it must leave two tags free so the strongest gated claim --
+        a *ready external* allocate into a loop block, which needs
+        ``reserve + 1 = 2`` -- stays satisfiable no matter how far
+        speculation runs ahead. Leaving only one (the old rule)
+        let sibling regions mutually starve under one parent's pool.
+
+        The deadlock analyzer calls this too, so the gate arithmetic
+        reported in a diagnosis is the arithmetic actually enforced.
+        """
+        if self.capacity is None:
+            return 0
+        if not self.gated:
+            return 1
+        reserve = 1 if (spare and self.honor_spare) else 0
+        if not self.honor_ready:
+            ready = True
+        return (reserve + 1) if ready else 3
+
     def can_pop(self, ready: bool, spare: bool) -> bool:
         """May an allocate pop right now?
 
         ``ready``: the context's ready join has fired. ``spare``: this
         is an external allocate into a tail-recursive block (one tag
-        must remain in reserve for the backedge).
+        must remain in reserve for the backedge). See
+        :meth:`tags_needed` for the gate arithmetic.
         """
         if self.capacity is None:
             return True
-        if not self.gated:
-            return len(self._free) >= 1
-        reserve = 1 if (spare and self.honor_spare) else 0
-        if not self.honor_ready:
-            ready = True
-        need = reserve + (1 if ready else 2)
-        return len(self._free) >= need
+        return len(self._free) >= self.tags_needed(ready, spare)
 
     def pop(self) -> int:
         self.total_allocations += 1
@@ -93,6 +128,7 @@ class TagPool:
         return tag
 
     def push(self, tag: int) -> None:
+        self.holders.pop(tag, None)
         self.in_use -= 1
         if self.in_use < 0:
             raise SimulationError(

@@ -35,13 +35,14 @@ from __future__ import annotations
 import math
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.errors import SimulationError
+from repro.errors import DeadlockError, SimulationError
 from repro.ir.ops import OP_INFO, Op
 from repro.ir.program import BlockKind, ContextProgram
 from repro.sim.latency import load_delay
 from repro.sim.memory import Memory
 from repro.sim.metrics import ExecutionResult, MetricsRecorder
 from repro.sim.profile import EngineProfiler
+from repro.sim.watchdog import watchdog_horizon
 from repro.sim.vector.analysis import VectorInfo, classify_loop
 from repro.sim.vector.plan import (
     VecBlockPlan,
@@ -171,6 +172,18 @@ class DataParallelEngine:
         """
         if n_cycles <= 0:
             return
+        if n_cycles >= watchdog_horizon(self.max_cycles):
+            # The data-parallel machine executes depth-first, so it
+            # cannot quiesce with live work the way the token machines
+            # can; the one wedge shape left is a nonsensical stall
+            # request (corrupted due-cycle bookkeeping). Real stall
+            # lengths are bounded by the configured worst-case load
+            # latency, orders of magnitude under the horizon.
+            raise DeadlockError(
+                f"datapar machine stalled (progress watchdog: one "
+                f"load stall of {n_cycles} cycles exceeds the "
+                f"{watchdog_horizon(self.max_cycles)}-cycle horizon)"
+            )
         metrics = self.metrics
         prof = self._profiler
         allowed = self.max_cycles + 1 - metrics.cycles

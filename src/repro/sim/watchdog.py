@@ -1,0 +1,36 @@
+"""Early progress watchdog shared by every engine family.
+
+A machine that quiesces (empty ready queue, nothing in flight) with
+live tokens is caught immediately by each engine's quiesce check. The
+watchdog covers the *other* failure shape: a loop that keeps burning
+cycles without retiring an instruction -- stale due-cycle bookkeeping,
+a waiter list that re-queues without progress, a codegen kernel whose
+stall fast-path regresses. Counting consecutive zero-fire cycles is
+O(1) per cycle and perturbs nothing: the counter resets on every
+productive cycle, so a run that completes is bit-identical with or
+without the watchdog.
+
+The horizon is far beyond any legitimate zero-fire stretch (memory
+stalls are bounded by the worst-case load latency, on the order of
+hundreds of cycles) yet early enough that a wedged large workload
+surfaces in seconds instead of grinding to ``max_cycles``: at the
+default 50M-cycle budget the horizon is 100k cycles, under
+``max_cycles / 10`` as the robustness plan requires.
+"""
+
+from __future__ import annotations
+
+#: Never wait longer than this many zero-progress cycles.
+WATCHDOG_CAP = 100_000
+#: Never trip before this many, so tiny ``max_cycles`` test budgets
+#: cannot make legitimate short stalls fatal.
+WATCHDOG_FLOOR = 256
+
+
+def watchdog_horizon(max_cycles: int) -> int:
+    """Consecutive zero-progress cycles tolerated before diagnosing.
+
+    ``min(100k, max(256, max_cycles // 10))`` -- proportional to the
+    cycle budget for small runs, capped for large ones.
+    """
+    return min(WATCHDOG_CAP, max(WATCHDOG_FLOOR, max_cycles // 10))

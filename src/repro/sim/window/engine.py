@@ -42,6 +42,7 @@ from repro.sim.latency import load_delay
 from repro.sim.memory import Memory
 from repro.sim.metrics import ExecutionResult, MetricsRecorder
 from repro.sim.profile import EngineProfiler
+from repro.sim.watchdog import watchdog_horizon
 from repro.sim.window.plan import (
     BlockPlan,
     Key,
@@ -253,6 +254,8 @@ class WindowEngine:
         issue_width = self.issue_width
         fetch_width = self.fetch_width
         max_cycles = self.max_cycles
+        wd_horizon = watchdog_horizon(max_cycles)
+        idle_streak = 0
         # Metrics are accumulated in locals and committed in the
         # ``finally`` below.  Only variable-latency load closures read
         # ``metrics.cycles`` mid-run (to schedule maturity), so the
@@ -352,6 +355,15 @@ class WindowEngine:
                             inst.armed.add(op_id)
                     del pending[:]
                 if fired == 0 and not progressed and not ready:
+                    idle_streak += 1
+                    if idle_streak >= wd_horizon and (
+                            not delayed or min(delayed) < cycles):
+                        # Either quiesced-but-live for the whole
+                        # horizon, or waiting on a load whose due
+                        # cycle already passed (stale bookkeeping):
+                        # wedged either way.
+                        metrics.cycles = cycles
+                        self._raise_deadlock(watchdog=idle_streak)
                     if delayed:
                         # Idle cycle waiting on in-flight loads.
                         cycles += 1
@@ -368,6 +380,8 @@ class WindowEngine:
                         completed = True
                         break
                     self._raise_deadlock()
+                else:
+                    idle_streak = 0
                 cycles += 1
                 if sync_cycles:
                     metrics.cycles = cycles
@@ -417,6 +431,8 @@ class WindowEngine:
         issue_width = self.issue_width
         fetch_width = self.fetch_width
         max_cycles = self.max_cycles
+        wd_horizon = watchdog_horizon(max_cycles)
+        idle_streak = 0
         miss_until = (self._miss_until if self._cache is not None
                       else None)
         while True:
@@ -495,6 +511,11 @@ class WindowEngine:
                         inst.armed.add(op_id)
                 del pending[:]
             if fired == 0 and not progressed and not ready:
+                idle_streak += 1
+                if idle_streak >= wd_horizon and (
+                        not delayed
+                        or min(delayed) < metrics.cycles):
+                    self._raise_deadlock(watchdog=idle_streak)
                 if delayed:
                     # Idle cycle waiting on in-flight loads (the fast
                     # loop skips the max_cycles check here; mirror it).
@@ -508,6 +529,8 @@ class WindowEngine:
                 if self._is_finished():
                     return True
                 self._raise_deadlock()
+            else:
+                idle_streak = 0
             sample(fired, livebox[0])
             if fired:
                 end_cycle("width_limited" if width_limited else "fired")
@@ -531,11 +554,14 @@ class WindowEngine:
                 and not self._pending and not self._delayed
                 and self._livebox[0] == 0)
 
-    def _raise_deadlock(self) -> None:
+    def _raise_deadlock(self, watchdog: "int | None" = None) -> None:
         stuck = [(entry[0].plan.name, entry[1])
                  for entry in self._stack[-4:]]
+        via = ("" if watchdog is None else
+               f" (progress watchdog: {watchdog} consecutive cycles "
+               f"without progress)")
         raise DeadlockError(
-            f"window machine stalled: live={self._livebox[0]}, "
+            f"window machine stalled{via}: live={self._livebox[0]}, "
             f"in-flight slices={len(self._retire)}, stack tail={stuck}"
         )
 

@@ -89,3 +89,8 @@ def test_fig11_reports_deadlock_at_tiny_scale():
     report = get_experiment("fig11")(scale="tiny", sizes=(4,))
     assert report.data["deadlocked"] is True
     assert report.data["tyr_completed"] is True
+    # The wait-for-graph analyzer identifies each ablated deadlock as
+    # caused by the dropped rule, not merely that a deadlock happened.
+    assert report.data["ablation_verdicts"] == {"spare": "spare",
+                                                "ready": "ready"}
+    assert "violated rule" in report.text

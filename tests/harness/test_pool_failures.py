@@ -245,6 +245,25 @@ def test_deadlock_diagnosis_survives_pool():
     assert isinstance(out[1], ExecutionResult)
 
 
+def test_wait_graph_diagnosis_pickle_round_trip():
+    """The analyzer's DeadlockDiagnosis (wait-graph fields included)
+    must cross the remote-worker boundary intact, like DeadlockError
+    itself (PR 4)."""
+    wl = build_workload("dmv", "tiny")
+    with pytest.raises(DeadlockError) as err:
+        wl.compiled.run("unordered-bounded", wl.fresh_memory(),
+                        wl.args, total_tags=4)
+    diag = err.value.diagnosis
+    clone = pickle.loads(pickle.dumps(diag))
+    assert clone == diag
+    assert clone.explain() == diag.explain()
+    assert clone.culprits() == diag.culprits()
+    assert clone.wait_cycle and clone.violated_rule == "greedy"
+    # The attached-to-error path round-trips too.
+    eclone = pickle.loads(pickle.dumps(err.value))
+    assert eclone.diagnosis == diag
+
+
 # -- structured run log ------------------------------------------------
 
 def _read_log(path):

@@ -11,8 +11,10 @@ interpreter. In particular:
   (asserted inside the engine via ``check_token_bound``).
 """
 
+import os
+
 import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import HealthCheck, example, given, settings
 from hypothesis import strategies as st
 
 from repro.errors import DeadlockError
@@ -23,8 +25,11 @@ from repro.sim.memory import Memory
 from repro.workloads.randomprog import random_memory, random_module
 
 SEEDS = st.integers(min_value=0, max_value=100_000)
+# CI's deadlock-smoke job raises the search budget well past the
+# local default; see .github/workflows/ci.yml.
 _SETTINGS = settings(
-    max_examples=60,
+    max_examples=int(os.environ.get("TYR_REPRO_HYPOTHESIS_EXAMPLES",
+                                    "60")),
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
@@ -53,6 +58,10 @@ def test_theorem1_tyr_two_tags_never_deadlocks(seed):
 
 
 @given(seed=SEEDS, tags=st.integers(min_value=2, max_value=7))
+# Seed 66869 at tags=4 starved sibling loop pools under the pre-fix
+# gate (speculative pops left only one tag free, blocking ready
+# external allocates); keep the falsifying example pinned forever.
+@example(seed=66869, tags=4)
 @_SETTINGS
 def test_theorem2_token_bound_holds_at_any_tag_count(seed, tags):
     cw = _compile(seed)

@@ -51,9 +51,14 @@ def lemma1_module():
 
 
 def test_dropping_ready_gating_deadlocks():
-    with pytest.raises(DeadlockError):
+    with pytest.raises(DeadlockError) as err:
         run_policy(lemma1_module(), [7],
                    AblatedTyrPolicy(2, drop="ready"))
+    # The wait-for-graph analyzer names the dropped rule as the cause.
+    d = err.value.diagnosis
+    assert d.violated_rule == "ready"
+    assert d.culprits()
+    assert "Lemma 1" in d.explain()
 
 
 def test_full_tyr_completes_lemma1_scenario():
@@ -63,10 +68,14 @@ def test_full_tyr_completes_lemma1_scenario():
 
 
 def test_dropping_spare_tag_deadlocks_on_nested_loops():
-    with pytest.raises(DeadlockError):
+    with pytest.raises(DeadlockError) as err:
         run_policy(dmv_module(), [8],
                    AblatedTyrPolicy(2, drop="spare"),
                    memory=dmv_memory(8))
+    d = err.value.diagnosis
+    assert d.violated_rule == "spare"
+    assert d.wait_cycle, "analyzer should extract the actual cycle"
+    assert "Lemma 2" in d.explain()
 
 
 def test_full_tyr_completes_nested_loops():

@@ -1,0 +1,36 @@
+"""Pinned reproductions of the gated-allocation starvation deadlocks.
+
+Both were deterministic Theorem-2 violations carried since the seed
+(ROADMAP.md): sibling loop pools under one parent ended with most tags
+held by speculative (not-ready) pops while ready external allocates --
+which need two free tags under the spare rule -- starved, and the
+holders' data transitively depended on the starved work. The fix makes
+speculative pops leave two tags free (sim/tagged/tagspace.py); these
+tests keep both workloads completing forever after.
+"""
+
+import pytest
+
+from repro.frontend.lower import lower_module
+from repro.harness.runner import CompiledWorkload
+from repro.sim.memory import Memory
+from repro.workloads.randomprog import random_memory, random_module
+from repro.workloads.registry import build_workload
+
+
+def test_tc_small_completes_on_tyr_at_eight_tags():
+    res = build_workload("tc", "small").run_checked("tyr", tags=8)
+    assert res.completed
+
+
+def test_randomprog_66869_completes_on_tyr_at_four_tags():
+    cw = CompiledWorkload(lower_module(random_module(66869)))
+    res = cw.run("tyr", Memory(random_memory()), [3, 5], tags=4)
+    assert res.completed
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("tags", [4, 6, 8, 12, 16, 24, 32, 48, 64])
+def test_tc_small_completes_on_tyr_across_tag_sweep(tags):
+    res = build_workload("tc", "small").run_checked("tyr", tags=tags)
+    assert res.completed

@@ -22,9 +22,16 @@ PER_BLOCK_POLICIES = [
 
 
 def test_gated_pool_base_rule():
-    pool = TagPool("b", 2, gated=True)
-    # More than one tag free: immediate pop allowed.
+    pool = TagPool("b", 3, gated=True)
+    # A speculative (not-ready) pop must leave two tags free, so it
+    # needs three: sibling regions competing for one parent's pool
+    # must never speculate the pool down to where a ready external
+    # claim (which needs two) starves.
     assert pool.can_pop(ready=False, spare=False)
+    pool.pop()
+    # Two free: speculation is blocked, ready contexts may pop.
+    assert not pool.can_pop(ready=False, spare=False)
+    assert pool.can_pop(ready=True, spare=False)
     pool.pop()
     # Exactly one tag left: only a ready context may take it.
     assert not pool.can_pop(ready=False, spare=False)
@@ -48,6 +55,25 @@ def test_gated_pool_spare_rule():
 def test_gated_pool_three_tags_immediate_spare():
     pool = TagPool("loop", 3, gated=True)
     assert pool.can_pop(ready=False, spare=True)
+
+
+def test_gated_pool_speculation_never_takes_the_ready_externals_tags():
+    """The multi-sibling starvation fix: after any run of speculative
+    pops, a *ready external* allocate (the strongest gated claim,
+    needing reserve + 1 = 2 free tags) can still pop."""
+    pool = TagPool("loop", 8, gated=True)
+    while pool.can_pop(ready=False, spare=False):
+        pool.pop()
+    assert pool.free_count == 2
+    assert pool.can_pop(ready=True, spare=True)
+
+
+def test_pool_holder_provenance_cleared_on_push():
+    pool = TagPool("p", 2, gated=True)
+    t = pool.pop()
+    pool.holders[t] = (7, -1)
+    pool.push(t)
+    assert t not in pool.holders
 
 
 def test_greedy_pool_ignores_gating():
